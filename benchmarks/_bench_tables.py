@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one figure of the paper's evaluation
+(section 4) and prints the corresponding rows/series.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The printed tables are the deliverable; the pytest-benchmark timings
+additionally record how long each experiment takes to simulate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render a fixed-width table to stdout."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    print()
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def print_series(title: str, points: Sequence, unit: str = "") -> None:
+    """Render an (x, y) series compactly, one point per line."""
+    print()
+    print(f"--- {title} ---")
+    for x, y in points:
+        print(f"  t={x:8.3f}  {y:10.3f} {unit}")
+    print()

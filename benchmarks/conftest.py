@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness.
+
+Each benchmark module regenerates one figure of the paper's evaluation
+(section 4) and prints the corresponding rows/series.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""

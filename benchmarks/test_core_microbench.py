@@ -1,0 +1,123 @@
+"""Microbenchmarks of the protocol's core data structures.
+
+These are the per-message costs of the GD protocol itself: knowledge
+accumulation into run-length streams, interval-map updates, and the
+simulator's event loop.  They bound the throughput of a pure-Python
+broker (and were used to calibrate the CPU cost model's knowledge_update
+constant).
+"""
+
+import pytest
+
+from repro.core.intervals import IntervalMap
+from repro.core.lattice import K
+from repro.core.streams import KnowledgeStream, Stream
+from repro.core.ticks import TickRange
+from repro.sim.scheduler import Scheduler
+
+
+def test_interval_map_sequential_appends(benchmark):
+    def run():
+        m = IntervalMap(K.Q)
+        for i in range(2000):
+            m.set_range(TickRange(i * 10, i * 10 + 10), K.F if i % 2 else K.D)
+        return m.run_count()
+
+    count = benchmark(run)
+    assert count > 0
+
+
+def test_interval_map_point_queries(benchmark):
+    m = IntervalMap(K.Q)
+    for i in range(1000):
+        m.set_range(TickRange(i * 20, i * 20 + 10), K.F)
+
+    def run():
+        total = 0
+        for t in range(0, 20000, 7):
+            total += int(m.get(t))
+        return total
+
+    assert benchmark(run) >= 0
+
+
+def test_knowledge_stream_publish_pattern(benchmark):
+    """The pubend's hot loop: bracket-finalize then accumulate one D."""
+
+    def run():
+        s = KnowledgeStream()
+        tick = 0
+        for i in range(2000):
+            s.accumulate_final(TickRange(tick, tick + 40))
+            tick += 40
+            s.accumulate_data(tick, i)
+            tick += 1
+        return s.d_tick_count()
+
+    assert benchmark(run) == 2000
+
+
+def test_knowledge_stream_ack_gc(benchmark):
+    """Prefix finalization (ack garbage collection) over a long stream."""
+
+    def run():
+        s = Stream()
+        tick = 0
+        for i in range(500):
+            s.knowledge.accumulate_final(TickRange(tick, tick + 40))
+            s.knowledge.accumulate_data(tick + 40, i)
+            tick += 41
+        for cut in range(0, tick, 400):
+            s.set_ack(TickRange(0, cut + 1))
+        s.set_ack(TickRange(0, tick))
+        return s.knowledge.d_tick_count()
+
+    assert benchmark(run) == 0  # everything acked and collected
+
+
+def test_gd_protocol_message_throughput(benchmark):
+    """End-to-end protocol cost: how many publish→deliver round trips per
+    second of *wall* time the pure-Python broker pipeline sustains (two
+    brokers, simulator transport, zero configured latencies)."""
+    from repro.core.config import LivenessParams
+    from repro.topology import two_broker_topology
+
+    def run():
+        topo = two_broker_topology(link_latency=0.0)
+        topo.pubend("P0", "phb")
+        topo.route("P0", "PHB", "SHB")
+        system = topo.build(
+            seed=1,
+            params=LivenessParams(gct=0.1, nrt_min=0.3),
+            log_commit_latency=0.0,
+            client_latency=0.0,
+        )
+        client = system.subscribe("a", "shb", ("P0",))
+        publisher = system.publisher("P0", rate=1000.0)
+        publisher.start(at=0.001)
+        system.run_until(2.0)
+        publisher.stop()
+        system.run_until(3.0)
+        assert client.count() == len(publisher.published)
+        return client.count()
+
+    delivered = benchmark(run)
+    assert delivered == 2000
+
+
+def test_scheduler_event_throughput(benchmark):
+    def run():
+        scheduler = Scheduler()
+        count = [0]
+
+        def tick(n):
+            count[0] += 1
+            if n:
+                scheduler.call_later(0.001, lambda: tick(n - 1))
+
+        for lane in range(20):
+            scheduler.call_at(0.0, lambda: tick(500))
+        scheduler.run()
+        return count[0]
+
+    assert benchmark(run) == 20 * 501

@@ -1,0 +1,74 @@
+"""Figure 5 — local and remote median latency vs. number of subscribers.
+
+Claims reproduced (see EXPERIMENTS.md for the scale mapping):
+
+* remote latency increases with subscriber count for both protocols
+  (fan-out queueing at the SHB);
+* local latency is flat in subscriber count (the measuring client sits
+  at the PHB while the load sits at the SHB);
+* the GD - best-effort difference is approximately constant in N, equal
+  to the logging delay (paper: ~100 ms), in both local and remote
+  latencies.
+"""
+
+import pytest
+
+from repro.experiments.fig45 import gd_minus_be, run_overhead_sweep
+
+from _bench_tables import print_table
+
+SUBSCRIBER_COUNTS = [100, 200, 400, 800, 1600]
+INPUT_RATE = 200.0
+LOG_LATENCY = 0.1  # the paper's observed ~100 ms logging delay
+
+
+def test_fig5_latency(benchmark):
+    sweep = benchmark.pedantic(
+        run_overhead_sweep,
+        args=(SUBSCRIBER_COUNTS,),
+        kwargs={
+            "input_rate": INPUT_RATE,
+            "warmup": 1.5,
+            "measure": 6.0,
+            "log_commit_latency": LOG_LATENCY,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    by_key = {(p.protocol, p.n_subscribers): p for p in sweep}
+    rows = []
+    for n in SUBSCRIBER_COUNTS:
+        gd = by_key[("gd", n)]
+        be = by_key[("best-effort", n)]
+        rows.append(
+            [
+                n,
+                f"{gd.local_median_ms:.1f}",
+                f"{be.local_median_ms:.1f}",
+                f"{gd.remote_median_ms:.1f}",
+                f"{be.remote_median_ms:.1f}",
+                f"{gd.remote_median_ms - be.remote_median_ms:.1f}",
+            ]
+        )
+    print_table(
+        "Figure 5 — median latency (ms) vs subscribers",
+        ["N subs", "GD local", "BE local", "GD remote", "BE remote", "GD-BE remote"],
+        rows,
+    )
+
+    deltas = gd_minus_be(sweep)
+    remote_gaps = [deltas[n]["remote_latency_gap_ms"] for n in SUBSCRIBER_COUNTS]
+    local_gaps = [deltas[n]["local_latency_gap_ms"] for n in SUBSCRIBER_COUNTS]
+    # (1) The GD - BE latency difference is the constant logging delay,
+    # in both local and remote measurements (paper: ~100 ms constant).
+    for gap in remote_gaps + local_gaps:
+        assert abs(gap - 1000 * LOG_LATENCY) < 0.25 * 1000 * LOG_LATENCY
+    assert max(remote_gaps) - min(remote_gaps) < 20.0
+    # (2) Remote latency grows with subscriber count (queueing), local
+    # latency does not.
+    gd_remote = [by_key[("gd", n)].remote_median_ms for n in SUBSCRIBER_COUNTS]
+    be_remote = [by_key[("best-effort", n)].remote_median_ms for n in SUBSCRIBER_COUNTS]
+    assert gd_remote[-1] > gd_remote[0]
+    assert be_remote[-1] > be_remote[0]
+    gd_local = [by_key[("gd", n)].local_median_ms for n in SUBSCRIBER_COUNTS]
+    assert max(gd_local) - min(gd_local) < 10.0

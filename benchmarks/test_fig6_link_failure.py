@@ -1,0 +1,96 @@
+"""Figure 6 — latency and nacks for the b1-s1 link failure.
+
+Paper setup (section 4.2): the Figure 3 network, 4 pubends x 25 msgs/s of
+100-byte messages, GCT=200ms NRT=600ms AET=10s DCT=inf.  The b1-s1 link is
+stalled ~2.5 s (absorbing traffic) then failed for 10 s.
+
+Claims reproduced:
+
+* s1 notices the loss only after the stall (>2 s after the first lost
+  message), nacks to b2, and receives the lost burst — the latency plot
+  has a sawtooth with peak roughly the stall duration (paper: ~2.5 s);
+* the nack range is chopped into multiple smaller nack messages;
+* the cumulative nack range matches the data actually lost (the pubends
+  that were flowing through b1 during the stall);
+* subscribers not on the failure path (s2 here, since its b1 link is
+  fine; s3-s5 on the IB2 side) are unaffected;
+* after rerouting, latency returns to normal, and delivery remains
+  exactly-once for every subscriber.
+"""
+
+import pytest
+
+from repro.experiments.fig678 import run_fault_experiment
+
+from _bench_tables import print_series, print_table
+
+FAULT_AT = 5.0
+STALL = 2.5
+OUTAGE = 10.0
+
+
+def test_fig6_link_failure(benchmark):
+    result = benchmark.pedantic(
+        run_fault_experiment,
+        args=("link_b1_s1",),
+        kwargs={"fault_at": FAULT_AT, "stall": STALL, "link_outage": OUTAGE},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Latency series at the affected subscriber (the paper's top plot):
+    # show only the interesting window around the failure.
+    window = [
+        (t, lat)
+        for t, lat in result.latency["sub_s1"]
+        if FAULT_AT - 1 <= t <= FAULT_AT + STALL + 3
+    ]
+    print_series("Figure 6 (top) — s1 latency around the failure (s)",
+                 window[:: max(len(window) // 40, 1)], "s")
+    # Nack series (the paper's bottom plot is cumulative).
+    cumulative = 0.0
+    points = []
+    for t, rng in result.nacks.get("s1", []):
+        cumulative += rng
+        points.append((t, cumulative))
+    print_series("Figure 6 (bottom) — s1 cumulative nack range (ms)", points, "ms")
+
+    steady = result.steady_latency("sub_s1", before=FAULT_AT - 1)
+    peak = result.max_latency("sub_s1")
+    print_table(
+        "Figure 6 — summary",
+        ["metric", "value"],
+        [
+            ["s1 steady latency (s)", f"{steady:.3f}"],
+            ["s1 peak latency (s)", f"{peak:.3f}"],
+            ["s1 nack messages", result.nack_count("s1")],
+            ["s1 nack range (ms)", f"{result.nack_range_total('s1'):.0f}"],
+            ["s2 nack messages", result.nack_count("s2")],
+            ["s2 peak latency (s)", f"{result.max_latency('sub_s2'):.3f}"],
+            ["all exactly-once", result.all_exactly_once()],
+        ],
+    )
+
+    assert result.all_exactly_once()
+    # Sawtooth peak: on the order of the stall duration (paper ~2.5 s for
+    # a 2-3 s stall), far above steady state.
+    assert STALL * 0.8 <= peak <= STALL + 1.5
+    assert peak > 10 * steady
+    # Chopping: the lost range is requested in several nack messages.
+    assert result.nack_count("s1") >= 3
+    # The nacked range corresponds to the stall loss for the pubends that
+    # were flowing over b1 (half of the 4 pubends).
+    assert 0.5 * 2 * STALL * 1000 <= result.nack_range_total("s1") <= 2.5 * 2 * STALL * 1000
+    # Unaffected subscribers: no nacks, no latency disturbance.
+    assert result.nack_count("s2") == 0
+    assert result.nack_count("s3") == 0
+    assert result.max_latency("sub_s2") < 3 * max(
+        result.steady_latency("sub_s2", before=FAULT_AT - 1), 0.05
+    )
+    # Recovery: after the reroute, s1's latency is back to steady state.
+    tail = [
+        lat
+        for t, lat in result.latency["sub_s1"]
+        if t > FAULT_AT + STALL + 4
+    ]
+    assert tail and max(tail) < 3 * max(steady, 0.05)

@@ -1,0 +1,81 @@
+"""Figure 8 — latency and nacks for the p1 (PHB) crash.
+
+Paper setup: the pubend-hosting broker p1 is crashed and restarted ~20 s
+later.  The publishers are connected to p1, so they are down with it —
+unlike Figures 6/7 no new messages are published during the outage.
+
+Claims reproduced:
+
+* all five subscribers (s1-s5) are affected in the same way;
+* with DCT = infinity, *no* nacks are sent while p1 is down: the stream
+  simply stops advancing and no Q-gaps are created;
+* messages logged (committed) before the crash but not sent out show the
+  partial-sawtooth latency of roughly the downtime;
+* on recovery, more than AET has elapsed, so p1 first sends an
+  AckExpected carrying the last tick it logged; that triggers nacks from
+  s1-s5, the backlog is delivered, and latency returns to normal;
+* exactly-once delivery everywhere.
+"""
+
+import pytest
+
+from repro.experiments.fig678 import run_fault_experiment
+
+from _bench_tables import print_series, print_table
+
+FAULT_AT = 5.0
+DOWNTIME = 20.0
+RESTART_AT = FAULT_AT + DOWNTIME
+
+
+def test_fig8_phb_crash(benchmark):
+    result = benchmark.pedantic(
+        run_fault_experiment,
+        args=("crash_p1",),
+        kwargs={"fault_at": FAULT_AT, "phb_downtime": DOWNTIME},
+        rounds=1,
+        iterations=1,
+    )
+
+    window = [
+        (t, lat)
+        for t, lat in result.latency["sub_s1"]
+        if FAULT_AT - 1 <= t <= RESTART_AT + 4
+    ]
+    print_series(
+        "Figure 8 (top) — s1 latency (s); crash at t=5, restart at t=25",
+        window[:: max(len(window) // 40, 1)],
+        "s",
+    )
+    rows = []
+    for shb in ("s1", "s2", "s3", "s4", "s5"):
+        rows.append(
+            [
+                shb,
+                result.nack_count(shb),
+                f"{result.nack_range_total(shb):.0f}",
+                f"{result.max_latency(f'sub_{shb}'):.2f}",
+            ]
+        )
+    print_table(
+        "Figure 8 — per-subscriber nacks and peak latency",
+        ["SHB", "nack msgs", "nack range (ms)", "peak latency (s)"],
+        rows,
+    )
+
+    assert result.all_exactly_once()
+    for shb in ("s1", "s2", "s3", "s4", "s5"):
+        # (1) No nacks while p1 is down (DCT = infinity): every nack is
+        # after the restart-triggered AckExpected.
+        for t, __ in result.nacks.get(shb, []):
+            assert t >= RESTART_AT
+        # (2) Everyone is affected similarly: the logged-but-unsent
+        # messages arrive with ~downtime latency at all subscribers.
+        peak = result.max_latency(f"sub_{shb}")
+        assert DOWNTIME * 0.9 <= peak <= DOWNTIME + 3
+    # (3) Nacks do happen after recovery (the AckExpected worked).
+    assert any(result.nack_count(shb) > 0 for shb in ("s1", "s2", "s3", "s4", "s5"))
+    # (4) Latency returns to normal after the backlog drains.
+    steady = result.steady_latency("sub_s1", before=FAULT_AT - 1)
+    tail = [lat for t, lat in result.latency["sub_s1"] if t > RESTART_AT + 3]
+    assert tail and max(tail) < 3 * max(steady, 0.05)

@@ -1,0 +1,97 @@
+"""Scaling — broker-chain depth (beyond the paper's 3-level tree).
+
+The GD protocol's headline structural property is that cost does *not*
+accumulate with overlay depth: stable storage and its commit latency are
+paid once at the PHB, and recovery is subscriber-driven end-to-end.  The
+store-and-forward baseline pays logging at every hop.
+
+This bench sweeps chain depth and reports steady-state median latency
+for both protocols; GD's curve is flat in depth (plus per-hop wire
+latency), store-and-forward's grows linearly.
+"""
+
+import pytest
+
+from repro.baselines.store_forward import StoreForwardBroker
+from repro.client import DeliveryChecker
+from repro.core.config import LivenessParams
+from repro.topology import Topology
+
+from _bench_tables import print_table
+
+COMMIT = 0.04
+LINK_LATENCY = 0.002
+DEPTHS = [1, 2, 4, 6]
+
+
+def chain_of(depth: int) -> Topology:
+    topo = Topology()
+    topo.cell("PHB", "phb")
+    previous_cell, previous_broker = "PHB", "phb"
+    for i in range(depth):
+        topo.cell(f"IB{i}", f"ib{i}")
+        topo.link(previous_broker, f"ib{i}", latency=LINK_LATENCY)
+        previous_cell, previous_broker = f"IB{i}", f"ib{i}"
+    topo.cell("SHB", "shb")
+    topo.link(previous_broker, "shb", latency=LINK_LATENCY)
+    topo.pubend("P0", "phb")
+    cells = ["PHB"] + [f"IB{i}" for i in range(depth)] + ["SHB"]
+    for parent, child in zip(cells, cells[1:]):
+        topo.route("P0", parent, child)
+    return topo
+
+
+def run(depth: int, protocol: str) -> float:
+    topo = chain_of(depth)
+    if protocol == "store-forward":
+        def factory(*args, **kw):
+            return StoreForwardBroker(*args, hop_commit_latency=COMMIT, **kw)
+        system = topo.build(seed=31, broker_factory=factory)
+    else:
+        system = topo.build(
+            seed=31,
+            params=LivenessParams(gct=0.1, nrt_min=0.3),
+            log_commit_latency=COMMIT,
+        )
+    sub = system.subscribe("a", "shb", ("P0",))
+    publisher = system.publisher("P0", rate=40.0)
+    publisher.start(at=0.1)
+    system.run_until(4.0)
+    publisher.stop()
+    system.run_until(8.0)
+    report = DeliveryChecker([publisher]).check(sub, system.subscriptions["a"])
+    assert report.exactly_once, (protocol, depth)
+    return system.metrics.latency.series("a").median()
+
+
+def test_depth_scaling(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            (depth, protocol): run(depth, protocol)
+            for depth in DEPTHS
+            for protocol in ("gd", "store-forward")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for depth in DEPTHS:
+        gd = 1000 * results[(depth, "gd")]
+        sf = 1000 * results[(depth, "store-forward")]
+        rows.append([depth, depth + 1, f"{gd:.1f}", f"{sf:.1f}"])
+    print_table(
+        f"Median latency (ms) vs chain depth (commit {1000 * COMMIT:.0f} ms per log)",
+        ["intermediates", "hops", "GD", "store-and-forward"],
+        rows,
+    )
+    # GD: one commit regardless of depth — the growth across the sweep is
+    # wire latency only (~2 ms per extra hop).
+    gd_growth = results[(DEPTHS[-1], "gd")] - results[(DEPTHS[0], "gd")]
+    assert gd_growth < 0.5 * COMMIT
+    # S&F: one commit *per hop* — grows by about COMMIT per intermediate.
+    sf_growth = results[(DEPTHS[-1], "store-forward")] - results[(DEPTHS[0], "store-forward")]
+    expected = (DEPTHS[-1] - DEPTHS[0]) * COMMIT
+    assert sf_growth == pytest.approx(expected, rel=0.35)
+    # And at every depth, GD is the cheaper protocol end-to-end.
+    for depth in DEPTHS:
+        assert results[(depth, "gd")] < results[(depth, "store-forward")]

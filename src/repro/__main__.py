@@ -1,0 +1,7 @@
+"""``python -m repro`` — experiment command line (see repro.cli)."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

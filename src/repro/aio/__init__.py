@@ -1,0 +1,4 @@
+"""Asyncio runtime: the same broker engine over real-time transports."""
+
+from .runtime import AioBroker, AioPublisher, AioSystem
+from .transport import LocalTransport, TcpTransport, decode_frame, encode_frame

@@ -1,0 +1,327 @@
+"""Asyncio broker runtime: the GD engine in real time.
+
+Hosts the same :class:`~repro.broker.engine.GDBrokerEngine` used by the
+simulator on an asyncio event loop, with wall-clock liveness timers and a
+pluggable transport (:class:`~repro.aio.transport.LocalTransport` or
+:class:`~repro.aio.transport.TcpTransport`).
+
+Throughput numbers from this runtime are *not* the evaluation substrate
+(the repro band notes asyncio throughput is less faithful than the
+simulator); the runtime exists so the library is actually usable as a
+message broker, and to demonstrate the engine is runtime-agnostic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..broker.engine import BrokerServices, GDBrokerEngine
+from ..broker.state import BrokerTopologyInfo
+from ..client import SubscriberClient
+from ..core.config import LivenessParams
+from ..core.subend import Subscription
+from ..core.ticks import Tick
+from ..matching.events import Event
+from ..matching.parser import parse
+from ..metrics.recorder import MetricsHub
+from ..storage.log import MemoryLog, MessageLog
+from ..topology import Topology, TopologyPlan
+from .transport import LocalTransport
+
+__all__ = ["AioBroker", "AioSystem", "AioPublisher"]
+
+
+class _AioServices(BrokerServices):
+    def __init__(self, broker: "AioBroker"):
+        self.broker = broker
+
+    def now(self) -> float:
+        return asyncio.get_running_loop().time()
+
+    def schedule(self, delay: float, fn: Callable[[], None]):
+        epoch = self.broker.epoch
+
+        def fire() -> None:
+            if self.broker.alive and self.broker.epoch == epoch:
+                fn()
+
+        return asyncio.get_running_loop().call_later(delay, fire)
+
+    def send(self, dst: str, message: Any, size: int = 100) -> bool:
+        if not self.broker.alive:
+            return False
+        return self.broker.transport.send(self.broker.broker_id, dst, message)
+
+    def link_usable(self, neighbor: str) -> bool:
+        return self.broker.transport.link_usable(self.broker.broker_id, neighbor)
+
+    def deliver(self, subscriber: str, pubend: str, tick: Tick, payload: Any) -> None:
+        self.broker.deliver(subscriber, pubend, tick, payload)
+
+
+class AioBroker:
+    """One broker process on the event loop."""
+
+    def __init__(
+        self,
+        broker_id: str,
+        info: BrokerTopologyInfo,
+        params: LivenessParams,
+        transport,
+        metrics: Optional[MetricsHub] = None,
+    ):
+        self.broker_id = broker_id
+        self.info = info
+        self.params = params
+        self.transport = transport
+        self.metrics = metrics if metrics is not None else MetricsHub()
+        self.alive = True
+        self.epoch = 0
+        self.services = _AioServices(self)
+        self.engine = GDBrokerEngine(info, params, self.services)
+        self._hostings: List[Tuple[str, MessageLog, int, int, Optional[float]]] = []
+        self._clients: Dict[str, SubscriberClient] = {}
+        self._log_delay_tasks: int = 0
+
+    # -- configuration ---------------------------------------------------
+
+    def host_pubend(
+        self,
+        pubend_id: str,
+        log: MessageLog,
+        slot: int = 0,
+        n_slots: int = 1,
+        preassign_window: Optional[float] = None,
+    ) -> None:
+        from ..core.pubend import Pubend
+
+        window = (
+            preassign_window
+            if preassign_window is not None
+            else self.params.preassign_window
+        )
+        self._hostings.append((pubend_id, log, slot, n_slots, window))
+        pubend = Pubend(
+            pubend_id,
+            log,
+            slot=slot,
+            n_slots=n_slots,
+            aet=self.params.aet,
+            silence_interval=self.params.silence_interval,
+            preassign_window=window,
+        )
+        self.engine.host_pubend(pubend)
+
+    def add_subscription(
+        self, subscription: Subscription, client: Optional[SubscriberClient] = None
+    ) -> None:
+        if client is not None:
+            self._clients[subscription.subscriber] = client
+        self.engine.add_subscription(subscription)
+
+    def start(self) -> None:
+        """Register with the transport and arm protocol timers."""
+        if hasattr(self.transport, "register"):
+            self.transport.register(self.broker_id, self.on_receive)
+        self.engine.start()
+
+    # -- data path ---------------------------------------------------------
+
+    def publish(self, pubend_id: str, payload: Any) -> Optional[Tick]:
+        if not self.alive:
+            return None
+        return self.engine.publish(pubend_id, payload)
+
+    def on_receive(self, src: str, message: Any) -> None:
+        if self.alive:
+            self.engine.on_message(src, message)
+
+    def deliver(self, subscriber: str, pubend: str, tick: Tick, payload: Any) -> None:
+        client = self._clients.get(subscriber)
+        if client is not None:
+            client.on_delivery(
+                pubend, tick, payload, asyncio.get_running_loop().time()
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the broker: soft state gone, logs survive."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.epoch += 1
+        if hasattr(self.transport, "unregister"):
+            self.transport.unregister(self.broker_id)
+        self.engine = None  # type: ignore[assignment]
+
+    def restart(self) -> None:
+        from ..core.pubend import Pubend
+
+        if self.alive:
+            return
+        self.alive = True
+        self.epoch += 1
+        self.engine = GDBrokerEngine(self.info, self.params, self.services)
+        for pubend_id, log, slot, n_slots, window in self._hostings:
+            pubend = Pubend(
+                pubend_id,
+                log,
+                slot=slot,
+                n_slots=n_slots,
+                aet=self.params.aet,
+                silence_interval=self.params.silence_interval,
+                preassign_window=window,
+            )
+            pubend.recover()
+            self.engine.host_pubend(pubend)
+        self.start()
+
+
+class AioPublisher:
+    """Publishes events at a fixed rate from an asyncio task."""
+
+    def __init__(
+        self,
+        broker: AioBroker,
+        pubend: str,
+        rate: float,
+        make_attributes: Optional[Callable[[int], Dict[str, Any]]] = None,
+    ):
+        self.broker = broker
+        self.pubend = pubend
+        self.interval = 1.0 / rate
+        self.make_attributes = make_attributes
+        self.seq = 0
+        self.published: List[Tuple[int, Tick, Event]] = []
+        self.failed_attempts = 0
+        self._task: Optional[asyncio.Task] = None
+
+    def publish_once(self) -> Optional[Tick]:
+        attributes: Dict[str, Any] = {"pub": self.pubend, "seq": self.seq}
+        if self.make_attributes is not None:
+            attributes.update(self.make_attributes(self.seq))
+        attributes["ts"] = asyncio.get_running_loop().time()
+        event = Event(attributes)
+        tick = self.broker.publish(self.pubend, event)
+        if tick is None:
+            self.failed_attempts += 1
+        else:
+            self.published.append((self.seq, tick, event))
+        self.seq += 1
+        return tick
+
+    def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def _run(self) -> None:
+        try:
+            while True:
+                self.publish_once()
+                await asyncio.sleep(self.interval)
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+
+class AioSystem:
+    """A whole deployment on one event loop, built from a Topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: Optional[LivenessParams] = None,
+        transport=None,
+        log_commit_latency: float = 0.0,
+        log_factory: Optional[Callable[[str], MessageLog]] = None,
+    ):
+        self.params = params if params is not None else LivenessParams()
+        self.transport = transport if transport is not None else LocalTransport()
+        self.metrics = MetricsHub()
+        self.plan: TopologyPlan = topology.plan()
+        self.brokers: Dict[str, AioBroker] = {}
+        self.pubend_hosts: Dict[str, str] = {}
+        self.publishers: List[AioPublisher] = []
+        self.subscribers: Dict[str, SubscriberClient] = {}
+        self.subscriptions: Dict[str, Subscription] = {}
+        self._log_commit_latency = log_commit_latency
+        self._log_factory = log_factory
+        for broker_id, info in self.plan.infos.items():
+            self.brokers[broker_id] = AioBroker(
+                broker_id, info, self.params, self.transport, metrics=self.metrics
+            )
+        for pubend_id, host_broker, slot, n_slots, preassign in self.plan.pubends:
+            if self._log_factory is not None:
+                log = self._log_factory(pubend_id)
+            else:
+                log = MemoryLog(commit_latency=self._log_commit_latency)
+            self.brokers[host_broker].host_pubend(
+                pubend_id, log, slot=slot, n_slots=n_slots,
+                preassign_window=preassign,
+            )
+            self.pubend_hosts[pubend_id] = host_broker
+
+    async def start(self) -> None:
+        """Bring every broker online (TCP transports start listening)."""
+        if hasattr(self.transport, "start_broker"):
+            for broker_id, broker in self.brokers.items():
+                await self.transport.start_broker(broker_id, broker.on_receive)
+        for broker in self.brokers.values():
+            broker.start()
+
+    def subscribe(
+        self,
+        subscriber_id: str,
+        broker_id: str,
+        pubends: Tuple[str, ...],
+        predicate: Any = None,
+        total_order: bool = False,
+    ) -> SubscriberClient:
+        from ..core.edges import MATCH_ALL
+
+        if isinstance(predicate, str):
+            predicate = parse(predicate)
+        elif predicate is None:
+            predicate = MATCH_ALL
+        client = SubscriberClient(
+            subscriber_id, metrics=self.metrics, check_total_order=total_order
+        )
+        subscription = Subscription(
+            subscriber=subscriber_id,
+            predicate=predicate,
+            pubends=tuple(pubends),
+            total_order=total_order,
+        )
+        self.brokers[broker_id].add_subscription(subscription, client)
+        self.subscribers[subscriber_id] = client
+        self.subscriptions[subscriber_id] = subscription
+        return client
+
+    def publisher(
+        self,
+        pubend: str,
+        rate: float,
+        make_attributes: Optional[Callable[[int], Dict[str, Any]]] = None,
+    ) -> AioPublisher:
+        broker = self.brokers[self.pubend_hosts[pubend]]
+        publisher = AioPublisher(broker, pubend, rate, make_attributes)
+        self.publishers.append(publisher)
+        return publisher
+
+    async def run_for(self, duration: float) -> None:
+        await asyncio.sleep(duration)
+
+    async def shutdown(self) -> None:
+        for publisher in self.publishers:
+            await publisher.stop()
+        if hasattr(self.transport, "close"):
+            await self.transport.close()

@@ -1,0 +1,199 @@
+"""Asyncio transports for real-time broker deployments.
+
+The deterministic simulator is the primary evaluation substrate (see
+DESIGN.md §4), but the broker engine is transport-agnostic; this module
+provides two asyncio transports so the same protocol runs in real time:
+
+* :class:`LocalTransport` — in-process: every broker gets an inbox queue;
+  sends are delivered by the event loop after an optional latency, with
+  optional i.i.d. drops.  Useful for real-time integration tests and
+  demos without sockets.
+* :class:`TcpTransport` — real TCP on localhost: each broker listens on
+  its own port and connects lazily to its neighbours; messages travel as
+  JSON lines through the wire codec (:mod:`repro.core.messages` and the
+  envelope/link-status codecs).
+
+Both expose the same small interface: ``send(src, dst, message) -> bool``
+plus a per-broker receive callback, and both report link usability the
+way the paper's brokers learn it (the local connection state).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from ..broker.state import Envelope, LinkStatusMessage
+
+__all__ = ["LocalTransport", "TcpTransport", "encode_frame", "decode_frame"]
+
+#: Receive callback: (src_broker, message) -> None
+ReceiveFn = Callable[[str, Any], None]
+
+
+def encode_frame(message: Any) -> bytes:
+    """Serialize an Envelope or LinkStatusMessage to one JSON line."""
+    return (json.dumps(message.to_wire()) + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes) -> Any:
+    obj = json.loads(line.decode("utf-8"))
+    kind = obj.get("kind")
+    if kind == "envelope":
+        return Envelope.from_wire(obj)
+    if kind == "link_status":
+        return LinkStatusMessage.from_wire(obj)
+    raise ValueError(f"unknown frame kind {kind!r}")
+
+
+class LocalTransport:
+    """In-process asyncio transport with optional latency and loss."""
+
+    def __init__(
+        self,
+        latency: float = 0.0,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+    ):
+        self.latency = latency
+        self.drop_probability = drop_probability
+        self.rng = random.Random(seed)
+        self._receivers: Dict[str, ReceiveFn] = {}
+        self._down: Set[Tuple[str, str]] = set()
+        self.sent = 0
+        self.dropped = 0
+
+    def register(self, broker_id: str, on_receive: ReceiveFn) -> None:
+        self._receivers[broker_id] = on_receive
+
+    def unregister(self, broker_id: str) -> None:
+        self._receivers.pop(broker_id, None)
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def fail_link(self, a: str, b: str) -> None:
+        self._down.add(self._key(a, b))
+
+    def recover_link(self, a: str, b: str) -> None:
+        self._down.discard(self._key(a, b))
+
+    def link_usable(self, a: str, b: str) -> bool:
+        return self._key(a, b) not in self._down and b in self._receivers
+
+    def send(self, src: str, dst: str, message: Any) -> bool:
+        self.sent += 1
+        if self._key(src, dst) in self._down:
+            return False
+        if self.drop_probability and self.rng.random() < self.drop_probability:
+            self.dropped += 1
+            return True
+        loop = asyncio.get_running_loop()
+
+        def deliver() -> None:
+            receiver = self._receivers.get(dst)
+            if receiver is not None:
+                receiver(src, message)
+
+        if self.latency > 0:
+            loop.call_later(self.latency, deliver)
+        else:
+            loop.call_soon(deliver)
+        return True
+
+
+class TcpTransport:
+    """Localhost TCP transport: one listening socket per broker,
+    lazily established outgoing connections, JSON-lines framing."""
+
+    def __init__(self) -> None:
+        #: broker -> (host, port) once listening.
+        self.addresses: Dict[str, Tuple[str, int]] = {}
+        self._servers: Dict[str, asyncio.AbstractServer] = {}
+        self._receivers: Dict[str, ReceiveFn] = {}
+        #: (src, dst) -> writer for established outgoing connections.
+        self._writers: Dict[Tuple[str, str], asyncio.StreamWriter] = {}
+        self.sent = 0
+
+    async def start_broker(self, broker_id: str, on_receive: ReceiveFn) -> None:
+        """Begin listening for this broker on an ephemeral port."""
+        self._receivers[broker_id] = on_receive
+
+        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+            try:
+                # First line identifies the peer.
+                hello = await reader.readline()
+                if not hello:
+                    return
+                src = json.loads(hello.decode("utf-8"))["src"]
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        return
+                    message = decode_frame(line)
+                    receiver = self._receivers.get(broker_id)
+                    if receiver is not None:
+                        receiver(src, message)
+            except (ConnectionError, json.JSONDecodeError, ValueError):
+                pass
+            finally:
+                writer.close()
+
+        server = await asyncio.start_server(handle, host="127.0.0.1", port=0)
+        self._servers[broker_id] = server
+        sockname = server.sockets[0].getsockname()
+        self.addresses[broker_id] = (sockname[0], sockname[1])
+
+    async def stop_broker(self, broker_id: str) -> None:
+        """Stop listening and drop this broker's connections (crash)."""
+        self._receivers.pop(broker_id, None)
+        server = self._servers.pop(broker_id, None)
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        self.addresses.pop(broker_id, None)
+        for key in [k for k in self._writers if broker_id in k]:
+            writer = self._writers.pop(key)
+            writer.close()
+
+    async def _writer_for(self, src: str, dst: str) -> Optional[asyncio.StreamWriter]:
+        key = (src, dst)
+        writer = self._writers.get(key)
+        if writer is not None and not writer.is_closing():
+            return writer
+        address = self.addresses.get(dst)
+        if address is None:
+            return None
+        try:
+            __, writer = await asyncio.open_connection(*address)
+        except OSError:
+            return None
+        writer.write((json.dumps({"src": src}) + "\n").encode("utf-8"))
+        self._writers[key] = writer
+        return writer
+
+    def link_usable(self, a: str, b: str) -> bool:
+        return b in self.addresses
+
+    def send(self, src: str, dst: str, message: Any) -> bool:
+        """Fire-and-forget: framing + write happen on the event loop."""
+        self.sent += 1
+        asyncio.get_running_loop().create_task(self._send(src, dst, message))
+        return True
+
+    async def _send(self, src: str, dst: str, message: Any) -> None:
+        writer = await self._writer_for(src, dst)
+        if writer is None:
+            return
+        try:
+            writer.write(encode_frame(message))
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            self._writers.pop((src, dst), None)
+
+    async def close(self) -> None:
+        for broker_id in list(self._servers):
+            await self.stop_broker(broker_id)

@@ -1,0 +1,4 @@
+"""Comparison protocols: best-effort delivery and DCP-like store-and-forward."""
+
+from .best_effort import BEMessage, BestEffortBroker
+from .store_forward import SFAck, SFMessage, StoreForwardBroker

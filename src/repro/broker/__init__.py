@@ -1,0 +1,12 @@
+"""Physical brokers: GD protocol engine, soft state, cells, link bundles."""
+
+from .engine import BrokerServices, GDBrokerEngine, stable_hash
+from .simbroker import SimBroker, SubscriberHooks
+from .state import (
+    BrokerTopologyInfo,
+    Envelope,
+    IStream,
+    LinkStatusMessage,
+    OStream,
+    PubendRoute,
+)

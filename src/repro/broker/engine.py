@@ -1,0 +1,947 @@
+"""The guaranteed-delivery protocol engine of one physical broker.
+
+This is the transport-agnostic heart of the system: it owns the broker's
+soft state (istreams, ostreams), runs knowledge propagation downstream and
+curiosity propagation upstream (paper section 3.1), hosts pubends (PHB
+role) and subends (SHB role), chooses physical links out of link bundles,
+and performs sideways routing inside a cell (section 3.1, "Propagation
+through Link Bundles").
+
+The engine talks to the world through :class:`BrokerServices` (clock,
+timers, link sends, client delivery, CPU charging), so the same engine
+runs unchanged in the deterministic simulator and in the asyncio runtime.
+
+Key protocol behaviours implemented here:
+
+* knowledge accumulation into istreams, filtered propagation to ostreams;
+* *lazy silence*: first-time data messages bracket all F knowledge since
+  the ostream's sent watermark, so filtered-out ticks ride along with the
+  next matching message instead of needing their own messages;
+* retransmissions sent only on paths with overlapping curiosity, with D
+  ticks the path is not curious about removed;
+* nack satisfaction from local soft state, with unsatisfied ticks marked
+  C in ostream and istream and *fresh* C ticks (not already curious)
+  forwarded upstream — the nack-consolidation rule;
+* curiosity forgetting every minimum repetition interval so repeated
+  nacks appear fresh;
+* ack consolidation: an istream tick becomes anti-curious only when every
+  ostream (and every local subend) is anti-curious for it, at which point
+  the ack is forwarded upstream and the local soft state garbage-collected;
+* link-bundle selection by pubend hash over operational candidate links,
+  preferring brokers that advertise reachability to the whole subtree;
+* sideways routing to a cell peer when no direct link to a downstream
+  cell is usable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Dict, FrozenSet, List, Optional
+
+from ..core.config import LivenessParams
+from ..core.lattice import C, K
+from ..core.messages import (
+    AckExpectedMessage,
+    AckMessage,
+    DataTick,
+    KnowledgeMessage,
+    NackMessage,
+)
+from ..core.pubend import Pubend
+from ..core.subend import SubendManager, SubendServices, Subscription
+from ..core.ticks import Tick, TickRange
+from ..matching.ast import (
+    Predicate as AstPredicate,
+    TrueP,
+    predicate_from_wire,
+    predicate_to_wire,
+)
+from ..matching.covering import summarize_subscriptions
+from ..core.edges import FilterEdge
+from .state import (
+    BrokerTopologyInfo,
+    Envelope,
+    IStream,
+    LinkStatusMessage,
+    OStream,
+    SubscriptionSummaryMessage,
+)
+
+__all__ = ["BrokerServices", "GDBrokerEngine", "stable_hash"]
+
+
+def stable_hash(text: str) -> int:
+    """Deterministic, well-mixed cross-run hash (link-bundle selection).
+
+    Hashing the pubend id onto one of the available links spreads pubends
+    across a bundle (paper section 3.1: "whenever both the links p1-b1
+    and p1-b2 are operational, messages from about half the pubends ...
+    will flow along p1-b1, and half along p1-b2").
+    """
+    digest = hashlib.md5(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _payload_size(payload: Any) -> int:
+    """Rough wire size of a data payload, for link bandwidth modelling."""
+    body = getattr(payload, "body", None)
+    if isinstance(body, str):
+        return 40 + len(body)
+    if isinstance(payload, dict):
+        return 40 + 8 * len(payload)
+    if isinstance(payload, str):
+        return 20 + len(payload)
+    return 40
+
+
+def _knowledge_size(message: KnowledgeMessage) -> int:
+    """Rough wire size of a knowledge message."""
+    return (
+        60
+        + 16 * len(message.f_ranges)
+        + sum(16 + _payload_size(d.payload) for d in message.data)
+    )
+
+
+class BrokerServices:
+    """Everything the engine needs from its host (simulator or asyncio).
+
+    Subclass and override; the defaults make unit tests terse.
+    """
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Any:
+        raise NotImplementedError
+
+    def send(self, dst: str, message: Any, size: int = 100) -> bool:
+        """Send an :class:`Envelope` or :class:`LinkStatusMessage` to an
+        adjacent broker.  Returns False when the link is locally known to
+        be unusable."""
+        raise NotImplementedError
+
+    def link_usable(self, neighbor: str) -> bool:
+        """Local knowledge of link health (e.g. TCP connection state)."""
+        return True
+
+    def deliver(self, subscriber: str, pubend: str, tick: Tick, payload: Any) -> None:
+        """Hand a message to a locally connected subscriber client."""
+
+    def charge(self, cost: float, category: str) -> None:
+        """Account CPU work (no-op outside CPU experiments)."""
+
+    def on_nack_message(self, pubend: str, ranges: List[TickRange]) -> None:
+        """Hook: this broker put a nack message on the wire."""
+
+    def on_knowledge_message(self, message: KnowledgeMessage) -> None:
+        """Hook: this broker put a knowledge message on the wire."""
+
+
+class _EngineSubendServices(SubendServices):
+    """Adapter giving the SubendManager access to the engine."""
+
+    def __init__(self, engine: "GDBrokerEngine"):
+        self.engine = engine
+
+    def now(self) -> float:
+        return self.engine.services.now()
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Any:
+        return self.engine.services.schedule(delay, fn)
+
+    def send_nack(self, pubend: str, ranges: List[TickRange]) -> None:
+        self.engine.local_nack(pubend, ranges)
+
+    def send_ack(self, pubend: str, up_to: Tick) -> None:
+        self.engine.consolidate_ack(pubend)
+
+    def deliver(self, subscriber: str, pubend: str, tick: Tick, payload: Any) -> None:
+        self.engine.services.deliver(subscriber, pubend, tick, payload)
+
+
+class GDBrokerEngine:
+    """Guaranteed-delivery protocol state machine of one physical broker."""
+
+    def __init__(
+        self,
+        topo: BrokerTopologyInfo,
+        params: LivenessParams,
+        services: BrokerServices,
+    ):
+        self.topo = topo
+        self.params = params
+        self.services = services
+        self.istreams: Dict[str, IStream] = {}
+        #: pubend -> downstream cell -> OStream
+        self.ostreams: Dict[str, Dict[str, OStream]] = {}
+        #: Locally hosted pubends (PHB role).
+        self.pubends: Dict[str, Pubend] = {}
+        #: Local subend manager (SHB role), created on first subscription.
+        self.subend: Optional[SubendManager] = None
+        #: neighbor broker -> cells it advertises as directly reachable
+        #: (None = no report yet; assume full reachability).
+        self.peer_reachable: Dict[str, Optional[FrozenSet[str]]] = {}
+        self.counters: Dict[str, int] = {}
+        for pubend, route in topo.routes.items():
+            self._ensure_streams(pubend)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _ensure_streams(self, pubend: str) -> IStream:
+        ist = self.istreams.get(pubend)
+        if ist is None:
+            ist = IStream(pubend)
+            self.istreams[pubend] = ist
+            route = self.topo.routes.get(pubend)
+            cells = self.ostreams.setdefault(pubend, {})
+            if route is not None:
+                for cell, filter_edge in route.downstream.items():
+                    cells[cell] = OStream(pubend, cell, filter_edge)
+        return ist
+
+    def host_pubend(self, pubend: Pubend) -> None:
+        """Adopt a pubend (PHB role).
+
+        The istream is deliberately *not* the pubend's root stream: a
+        publication enters the istream (and thus reaches local subends and
+        downstream paths) only when its log append has committed — "those
+        that are not logged are considered not published" (paper section
+        2.2).  A recovered pubend's committed state is replayed into the
+        istream here, so nack satisfaction after a PHB restart answers
+        from the log.
+        """
+        self.pubends[pubend.pubend_id] = pubend
+        ist = self._ensure_streams(pubend.pubend_id)
+        for run, value in list(pubend.stream.runs()):
+            if value == K.F:
+                ist.stream.accumulate_final(run)
+            elif value == K.D:
+                for tick in run:
+                    ist.stream.accumulate_data(
+                        tick, pubend.stream.payload_at(tick)
+                    )
+
+    def ensure_subend(self) -> SubendManager:
+        if self.subend is None:
+            self.subend = SubendManager(_EngineSubendServices(self), self.params)
+        return self.subend
+
+    def add_subscription(self, subscription: Subscription) -> None:
+        """Register a local subscriber (SHB role)."""
+        manager = self.ensure_subend()
+        for pubend in subscription.pubends:
+            ist = self._ensure_streams(pubend)
+            manager.attach_stream(pubend, ist.stream)
+        manager.subscribe(subscription)
+        if self.params.subscription_propagation:
+            for pubend in subscription.pubends:
+                self._advertise_summary(pubend)
+
+    def remove_subscription(self, subscriber: str) -> None:
+        """Withdraw a local subscriber, narrowing summaries upstream."""
+        if self.subend is None:
+            return
+        subscription = self.subend._subscriptions.get(subscriber)
+        self.subend.unsubscribe(subscriber)
+        if self.params.subscription_propagation and subscription is not None:
+            for pubend in subscription.pubends:
+                self._advertise_summary(pubend)
+
+    def start(self) -> None:
+        """Arm the engine's periodic timers (call once per incarnation)."""
+        self._arm_periodic(self.params.nrt_min, self._curiosity_sweep)
+        self._arm_periodic(self.params.link_status_interval, self._send_link_status)
+        if self.pubends:
+            self._arm_periodic(self.params.aet_check_interval, self._aet_check)
+            self._arm_periodic(
+                max(self.params.silence_interval / 2.0, 0.05), self._silence_check
+            )
+        if self.subend is not None and self.params.dct != float("inf"):
+            self._arm_periodic(self.params.subend_check_interval, self._subend_check)
+
+    def _arm_periodic(self, interval: float, fn: Callable[[], None]) -> None:
+        def tick() -> None:
+            fn()
+            self.services.schedule(interval, tick)
+
+        self.services.schedule(interval, tick)
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + by
+
+    # ------------------------------------------------------------------
+    # Publishing (PHB role)
+    # ------------------------------------------------------------------
+
+    def publish(self, pubend_id: str, payload: Any) -> Tick:
+        """Log a publication and schedule its downstream propagation
+        after the log's commit latency.  Returns the assigned tick."""
+        pubend = self.pubends[pubend_id]
+        now = self.services.now()
+        message = pubend.publish(payload, now)
+        self.services.charge(0.0, "publish")  # cost charged by host wrapper
+        delay = pubend.log.commit_latency
+        if delay > 0:
+            self.services.schedule(delay, lambda: self._ingest_local(message))
+        else:
+            self._ingest_local(message)
+        return message.data[0].tick
+
+    def _ingest_local(self, message: KnowledgeMessage) -> None:
+        """Feed a locally generated knowledge message (publish or silence)
+        through the normal arrival path (local subends see it, ostreams
+        propagate it)."""
+        self.on_envelope("", Envelope(message))
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def on_message(self, src: str, message: Any) -> None:
+        if isinstance(message, Envelope):
+            self.on_envelope(src, message)
+        elif isinstance(message, LinkStatusMessage):
+            self._on_link_status(message)
+        else:
+            raise TypeError(f"unexpected message type {type(message).__name__}")
+
+    def on_envelope(self, src: str, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, KnowledgeMessage):
+            self._on_knowledge(src, envelope)
+        elif isinstance(payload, AckMessage):
+            self._on_ack(src, payload)
+        elif isinstance(payload, NackMessage):
+            self._on_nack(src, payload)
+        elif isinstance(payload, AckExpectedMessage):
+            self._on_ack_expected(src, payload, envelope)
+        elif isinstance(payload, SubscriptionSummaryMessage):
+            self._on_subscription_summary(src, payload)
+        else:
+            raise TypeError(f"unexpected GD message {type(payload).__name__}")
+
+    # ------------------------------------------------------------------
+    # Knowledge propagation (downstream)
+    # ------------------------------------------------------------------
+
+    def _on_knowledge(self, src: str, envelope: Envelope) -> None:
+        message = envelope.payload
+        pubend = message.pubend
+        route = self.topo.routes.get(pubend)
+        if route is None and pubend not in self.istreams:
+            self.bump("knowledge_unroutable")
+            return
+        ist = self._ensure_streams(pubend)
+        if (
+            src
+            and route is not None
+            and self.topo.cell_of.get(src) == route.upstream_cell
+        ):
+            ist.last_upstream_sender = src
+        self.services.charge(0.0, "knowledge_receive")
+        self.bump("knowledge_received")
+
+        for rng in message.merged_f_ranges():
+            ist.stream.accumulate_final(rng)
+        for data in message.data:
+            ist.stream.accumulate_data(data.tick, data.payload)
+            # A data arrival satisfies istream curiosity for its tick.
+            if ist.stream.curiosity.value_at(data.tick) == C.C:
+                ist.stream.curiosity.clear_curious(TickRange.single(data.tick))
+
+        if self.subend is not None and self.subend.has_pubend(pubend):
+            self.subend.on_knowledge(pubend)
+        elif not self.ostreams.get(pubend):
+            # Consumer-less sink: acknowledge on arrival so upstream soft
+            # state and the pubend log can be collected.
+            self.consolidate_ack(pubend)
+
+        cells = self.ostreams.get(pubend, {})
+        if envelope.target_cell is not None:
+            targets = [envelope.target_cell] if envelope.target_cell in cells else []
+        else:
+            targets = list(cells)
+        for cell in targets:
+            self._propagate(ist, cells[cell], message, allow_sideways=not envelope.sideways)
+
+    def _path_matches(self, ost: OStream, payload: Any) -> bool:
+        if not ost.filter.matches(payload):
+            return False
+        if (
+            self.params.subscription_propagation
+            and ost.summary_edge is not None
+        ):
+            return ost.summary_edge.matches(payload)
+        return True
+
+    def _apply_path_filter(
+        self, ost: OStream, message: KnowledgeMessage
+    ) -> KnowledgeMessage:
+        """Static edge filter plus the dynamic subscription summary."""
+        filtered = ost.filter.apply(message)
+        if (
+            self.params.subscription_propagation
+            and ost.summary_edge is not None
+        ):
+            filtered = ost.summary_edge.apply(filtered)
+        return filtered
+
+    def _propagate(
+        self,
+        ist: IStream,
+        ost: OStream,
+        message: KnowledgeMessage,
+        allow_sideways: bool = True,
+    ) -> None:
+        # Capture the path's outstanding curiosity *before* accumulating:
+        # finality arriving for a curious tick auto-acks it locally
+        # (F <-> A), but the downstream still has to be told the answer.
+        curious = self._ostream_curiosity(ist, ost)
+        filtered = self._apply_path_filter(ost, message)
+        for rng in filtered.merged_f_ranges():
+            ost.stream.accumulate_final(rng)
+        for data in filtered.data:
+            ost.stream.accumulate_data(data.tick, None)
+
+        if message.retransmit:
+            # Retransmissions flow only towards curious paths.
+            self._answer_curiosity(ist, ost, curious, allow_sideways)
+            return
+
+        if filtered.data:
+            out = self._build_first_time(ost, filtered)
+            self._send_knowledge(ost, out, allow_sideways)
+        elif self.params.silence_broadcast and message.is_silence:
+            out = self._build_silence(ost, filtered)
+            if out is not None:
+                self._send_knowledge(ost, out, allow_sideways)
+        # Whatever just arrived may also satisfy older curiosity on this
+        # path (first-time silence for curious ticks, paper section 3.1).
+        self._answer_curiosity(ist, ost, curious, allow_sideways)
+
+    def _build_first_time(
+        self, ost: OStream, filtered: KnowledgeMessage
+    ) -> KnowledgeMessage:
+        """A first-time data message bracketed with lazy silence.
+
+        All F knowledge between the ostream's sent watermark and the
+        newest tick of the message rides along, so paths that had data
+        filtered out still advance their doubt horizon without dedicated
+        silence messages.
+        """
+        hi = filtered.max_tick()
+        lo = min(ost.sent_watermark, hi)
+        fin = ost.stream.knowledge.final_prefix()
+        f_runs = ost.stream.knowledge.ranges_with(
+            lambda v: v == K.F, max(lo, fin), hi
+        )
+        out = KnowledgeMessage(
+            pubend=ost.pubend,
+            fin_prefix=fin,
+            f_ranges=tuple(f_runs),
+            data=filtered.data,
+            retransmit=False,
+        )
+        ost.sent_watermark = max(ost.sent_watermark, hi)
+        return out
+
+    def _build_silence(
+        self, ost: OStream, filtered: KnowledgeMessage
+    ) -> Optional[KnowledgeMessage]:
+        hi = filtered.max_tick()
+        lo = min(ost.sent_watermark, hi)
+        fin = ost.stream.knowledge.final_prefix()
+        f_runs = ost.stream.knowledge.ranges_with(lambda v: v == K.F, max(lo, fin), hi)
+        if not f_runs and fin <= ost.sent_watermark:
+            return None
+        ost.sent_watermark = max(ost.sent_watermark, hi)
+        return KnowledgeMessage(
+            pubend=ost.pubend, fin_prefix=fin, f_ranges=tuple(f_runs), data=()
+        )
+
+    def _ostream_curiosity(self, ist: IStream, ost: OStream) -> List[TickRange]:
+        """The path's current C ranges (over the joint known span)."""
+        limit = max(ost.stream.knowledge.horizon(), ist.stream.knowledge.horizon())
+        if limit == 0:
+            return []
+        return ost.stream.curiosity.curious_ranges(TickRange(0, limit + 1))
+
+    def _satisfy_ostream_curiosity(
+        self, ist: IStream, ost: OStream, allow_sideways: bool = True
+    ) -> None:
+        self._answer_curiosity(
+            ist, ost, self._ostream_curiosity(ist, ost), allow_sideways
+        )
+
+    def _answer_curiosity(
+        self,
+        ist: IStream,
+        ost: OStream,
+        curious: List[TickRange],
+        allow_sideways: bool = True,
+    ) -> None:
+        """Answer the path's outstanding C ticks from local soft state.
+
+        The ostream's filtered view is refreshed from the istream over the
+        curious ranges first (it may be stale after a restart), then every
+        satisfiable tick is sent in a retransmission and its curiosity is
+        reset to N (the path will re-nack if the retransmission is lost).
+        """
+        if not curious:
+            return
+        # Refresh the filtered view from the istream over curious ranges.
+        for rng in curious:
+            for run, value in ist.stream.knowledge.iter_runs(rng.start, rng.stop):
+                if value == K.F:
+                    ost.stream.accumulate_final(run)
+                elif value == K.D:
+                    for tick in run:
+                        payload = ist.stream.knowledge.payload_at(tick)
+                        if self._path_matches(ost, payload):
+                            ost.stream.accumulate_data(tick, None)
+                        else:
+                            ost.stream.accumulate_final(TickRange.single(tick))
+        # Collect what is now satisfiable.  F pieces were auto-acked by the
+        # F<->A linkage, so re-read the still-curious set for D ticks and
+        # compute the freshly finalized pieces directly.
+        data: List[DataTick] = []
+        f_ranges: List[TickRange] = []
+        serviced: List[TickRange] = []
+        for rng in curious:
+            for run, value in ost.stream.knowledge.iter_runs(rng.start, rng.stop):
+                if value == K.F:
+                    f_ranges.append(run)
+                elif value == K.D:
+                    for tick in run:
+                        if ist.stream.knowledge.has_payload(tick):
+                            data.append(
+                                DataTick(tick, ist.stream.knowledge.payload_at(tick))
+                            )
+                            serviced.append(TickRange.single(tick))
+        if not data and not f_ranges:
+            return
+        for rng in serviced:
+            ost.stream.curiosity.clear_curious(rng)
+        out = KnowledgeMessage(
+            pubend=ost.pubend,
+            fin_prefix=ost.stream.knowledge.final_prefix(),
+            f_ranges=tuple(f_ranges),
+            data=tuple(sorted(data, key=lambda d: d.tick)),
+            retransmit=True,
+        )
+        self.bump("retransmissions_sent")
+        self._send_knowledge(ost, out, allow_sideways)
+
+    def _send_knowledge(
+        self, ost: OStream, message: KnowledgeMessage, allow_sideways: bool = True
+    ) -> None:
+        target = self._pick_downstream_broker(ost.pubend, ost.cell)
+        self.services.charge(0.0, "knowledge_send")
+        self.services.on_knowledge_message(message)
+        if target is not None:
+            self.bump("knowledge_sent")
+            self.services.send(target, Envelope(message), _knowledge_size(message))
+            return
+        if allow_sideways:
+            peer = self._pick_sideways_peer(ost.cell)
+            if peer is not None:
+                self.bump("knowledge_sideways")
+                self.services.send(
+                    peer,
+                    Envelope(message, target_cell=ost.cell, sideways=True),
+                    _knowledge_size(message),
+                )
+                return
+        self.bump("knowledge_undeliverable")
+
+    # ------------------------------------------------------------------
+    # Curiosity (nack) handling — upstream
+    # ------------------------------------------------------------------
+
+    def _on_nack(self, src: str, nack: NackMessage) -> None:
+        self.services.charge(0.0, "control")
+        self.bump("nacks_received")
+        pubend = nack.pubend
+        ist = self.istreams.get(pubend)
+        if ist is None:
+            return
+        cell = self.topo.cell_of.get(src)
+        ost = self.ostreams.get(pubend, {}).get(cell) if cell else None
+        if ost is None:
+            return
+        for rng in nack.ranges:
+            ost.stream.set_curious(rng)
+        # Answer over the *requested* ranges, not just the ticks that are
+        # still curious after the F <-> A linkage: ticks that are already
+        # final here are exactly the ones we can answer with silence.
+        self._answer_curiosity(ist, ost, list(nack.ranges))
+        # Whatever is still curious on the path could not be satisfied
+        # locally; accumulate into the istream and forward only the fresh
+        # part upstream (nack consolidation).
+        unsatisfied: List[TickRange] = []
+        for rng in nack.ranges:
+            unsatisfied.extend(ost.stream.curiosity.curious_ranges(rng))
+        if unsatisfied:
+            self._escalate_curiosity(pubend, ist, unsatisfied)
+
+    def local_nack(self, pubend: str, ranges: List[TickRange]) -> None:
+        """Curiosity initiated by a local subend."""
+        ist = self.istreams.get(pubend)
+        if ist is None:
+            return
+        self._escalate_curiosity(pubend, ist, ranges)
+
+    def _escalate_curiosity(
+        self, pubend: str, ist: IStream, ranges: List[TickRange]
+    ) -> None:
+        pb = self.pubends.get(pubend)
+        if pb is not None:
+            # We are the PHB: answer authoritatively from the log-backed
+            # stream by refreshing each requesting path.  (The local
+            # subend case cannot happen: local knowledge is complete.)
+            for ost in self.ostreams.get(pubend, {}).values():
+                self._satisfy_ostream_curiosity(ist, ost)
+            return
+        fresh: List[TickRange] = []
+        for rng in ranges:
+            fresh.extend(ist.stream.set_curious(rng))
+        if not self.params.nack_consolidation:
+            # Ablation: forward the request verbatim (no suppression).
+            fresh = list(ranges)
+        if not fresh:
+            self.bump("nacks_consolidated")
+            return
+        message = NackMessage(pubend=pubend, ranges=tuple(fresh))
+        self.bump("nacks_sent")
+        self.services.on_nack_message(pubend, fresh)
+        self._send_upstream(pubend, ist, Envelope(message), size=64)
+
+    def _curiosity_sweep(self) -> None:
+        """Forget istream C ticks so repeated nacks appear fresh."""
+        for ist in self.istreams.values():
+            ist.stream.curiosity.forget_curiosity()
+
+    # ------------------------------------------------------------------
+    # Acknowledgement — upstream
+    # ------------------------------------------------------------------
+
+    def _on_ack(self, src: str, ack: AckMessage) -> None:
+        self.services.charge(0.0, "control")
+        cell = self.topo.cell_of.get(src)
+        ost = self.ostreams.get(ack.pubend, {}).get(cell) if cell else None
+        if ost is None:
+            return
+        if ack.up_to > 0:
+            ost.stream.set_ack(TickRange(0, ack.up_to))
+        self.consolidate_ack(ack.pubend)
+
+    def consolidate_ack(self, pubend: str, force: bool = False) -> None:
+        """Advance the istream's anti-curious prefix to the minimum over
+        all downstream paths and local subends, then propagate.
+
+        ``force`` re-sends the current ack even if it has not advanced —
+        needed after an upstream restart (the probe implies the upstream
+        lost its soft ack state and must be told again)."""
+        ist = self.istreams.get(pubend)
+        if ist is None:
+            return
+        prefix: Optional[Tick] = None
+        for ost in self.ostreams.get(pubend, {}).values():
+            p = ost.ack_prefix()
+            prefix = p if prefix is None else min(prefix, p)
+        if self.subend is not None and self.subend.has_pubend(pubend):
+            p = self.subend.ack_horizon(pubend)
+            prefix = p if prefix is None else min(prefix, p)
+        if prefix is None:
+            # No consumers at all — no ostreams and no local subend (an
+            # SHB nobody subscribed at).  Nothing downstream can ever need
+            # these ticks, so acknowledge everything known; otherwise a
+            # consumer-less leaf blocks garbage collection (and log
+            # truncation) for the whole tree.
+            prefix = ist.stream.knowledge.horizon()
+        if prefix <= 0:
+            return
+        pb = self.pubends.get(pubend)
+        if pb is not None:
+            if pb.record_ack(prefix):
+                self.bump("log_truncations")
+                # GC the istream copy too (payloads below the prefix).
+                ist.stream.set_ack(TickRange(0, prefix))
+            return
+        if prefix > ist.acked_upstream or (force and prefix > 0):
+            ist.acked_upstream = max(prefix, ist.acked_upstream)
+            # Garbage-collect: the prefix is final everywhere downstream.
+            ist.stream.set_ack(TickRange(0, prefix))
+            self.bump("acks_sent")
+            self._send_upstream(
+                pubend, ist, Envelope(AckMessage(pubend, prefix)), size=48
+            )
+
+    # ------------------------------------------------------------------
+    # Pubend-driven liveness
+    # ------------------------------------------------------------------
+
+    def _aet_check(self) -> None:
+        now = self.services.now()
+        for pubend_id, pb in self.pubends.items():
+            threshold = pb.ack_expected_tick(now)
+            if threshold is None:
+                continue
+            probe = pb.make_ack_expected(threshold)
+            if self.subend is not None and self.subend.has_pubend(pubend_id):
+                self.subend.on_ack_expected(pubend_id, threshold)
+            for ost in self.ostreams.get(pubend_id, {}).values():
+                if ost.ack_prefix() < threshold:
+                    self.bump("ack_expected_sent")
+                    self._send_down_path(ost, Envelope(probe), size=48)
+
+    def _on_ack_expected(
+        self, src: str, probe: AckExpectedMessage, envelope: Envelope
+    ) -> None:
+        self.services.charge(0.0, "control")
+        pubend = probe.pubend
+        ist = self.istreams.get(pubend)
+        route = self.topo.routes.get(pubend)
+        if ist is None:
+            return
+        if src and route is not None and self.topo.cell_of.get(src) == route.upstream_cell:
+            ist.last_upstream_sender = src
+        if self.subend is not None and self.subend.has_pubend(pubend):
+            self.subend.on_ack_expected(pubend, probe.up_to)
+        cells = self.ostreams.get(pubend, {})
+        targets = (
+            [envelope.target_cell]
+            if envelope.target_cell is not None and envelope.target_cell in cells
+            else list(cells)
+        )
+        for cell in targets:
+            ost = cells[cell]
+            if ost.ack_prefix() < probe.up_to:
+                self._send_down_path(ost, Envelope(probe), size=48)
+        # Re-assert whatever is already consolidated here: a probing
+        # upstream has lost its soft ack state (restart) and must be told
+        # again even though our ack value did not advance.
+        self.consolidate_ack(pubend, force=True)
+
+    # ------------------------------------------------------------------
+    # Subscription propagation
+    # ------------------------------------------------------------------
+
+    def _local_summary(self, pubend: str) -> Optional[AstPredicate]:
+        """The union of this broker's own subscriptions for a pubend.
+
+        Opaque (callable) predicates cannot be introspected and collapse
+        the summary to match-everything — conservative by construction.
+        Returns ``None`` when there is no local subend for the pubend.
+        """
+        if self.subend is None or not self.subend.has_pubend(pubend):
+            return None
+        predicates = []
+        for subscription in self.subend.subscriptions_for(pubend):
+            if isinstance(subscription.predicate, AstPredicate):
+                predicates.append(subscription.predicate)
+            else:
+                return TrueP()
+        return summarize_subscriptions(predicates)
+
+    def _upward_summary(self, pubend: str) -> AstPredicate:
+        """What this broker needs from upstream: the union of its local
+        summary and every downstream cell's advertised summary.  A cell
+        that has not advertised yet contributes match-everything."""
+        parts: List[AstPredicate] = []
+        local = self._local_summary(pubend)
+        if local is not None:
+            parts.append(local)
+        for ost in self.ostreams.get(pubend, {}).values():
+            if ost.summary_edge is None:
+                return TrueP()  # unknown downstream: stay conservative
+            parts.append(ost.summary_edge.predicate)
+        return summarize_subscriptions(parts)
+
+    def _advertise_summary(self, pubend: str) -> None:
+        ist = self.istreams.get(pubend)
+        route = self.topo.routes.get(pubend)
+        if ist is None or route is None or route.upstream_cell is None:
+            return
+        summary = self._upward_summary(pubend)
+        message = SubscriptionSummaryMessage(
+            sender=self.topo.broker_id,
+            pubend=pubend,
+            summary=predicate_to_wire(summary),
+        )
+        self.bump("summaries_sent")
+        self._send_upstream(pubend, ist, Envelope(message), size=96)
+
+    def _on_subscription_summary(
+        self, src: str, message: SubscriptionSummaryMessage
+    ) -> None:
+        if not self.params.subscription_propagation:
+            return
+        self.services.charge(0.0, "control")
+        cell = self.topo.cell_of.get(src)
+        ost = self.ostreams.get(message.pubend, {}).get(cell) if cell else None
+        if ost is None:
+            return
+        predicate = predicate_from_wire(message.summary)
+        previous = (
+            ost.summary_edge.predicate if ost.summary_edge is not None else None
+        )
+        if predicate == previous:
+            return
+        ost.summary_edge = FilterEdge(predicate, name=f"summary:{cell}")
+        # Our own upward need may have changed; tell upstream.
+        self._advertise_summary(message.pubend)
+
+    def _readvertise_summaries(self) -> None:
+        """Periodic re-advertisement (piggybacking the link-status
+        cadence) so summaries survive upstream restarts — they are soft
+        state like everything else."""
+        for pubend in self.istreams:
+            route = self.topo.routes.get(pubend)
+            if route is not None and route.upstream_cell is not None:
+                self._advertise_summary(pubend)
+
+    # ------------------------------------------------------------------
+    # Link selection, sideways routing, link status
+    # ------------------------------------------------------------------
+
+    def _pick_downstream_broker(self, pubend: str, cell: str) -> Optional[str]:
+        candidates = [
+            n
+            for n in self.topo.adjacent_in_cell(cell)
+            if self.services.link_usable(n)
+        ]
+        if not candidates:
+            return None
+        route = self.topo.routes.get(pubend)
+        needed = route.subtree.get(cell, frozenset()) if route else frozenset()
+        if needed:
+            preferred = [n for n in candidates if self._reaches(n, needed)]
+            pool = preferred or candidates
+        else:
+            pool = candidates
+        return pool[stable_hash(pubend) % len(pool)]
+
+    def _reaches(self, neighbor: str, cells: FrozenSet[str]) -> bool:
+        report = self.peer_reachable.get(neighbor)
+        if report is None:
+            return True
+        return cells <= report
+
+    def _pick_sideways_peer(self, cell: str) -> Optional[str]:
+        peers = [p for p in self.topo.peers() if self.services.link_usable(p)]
+        if not peers:
+            return None
+        for peer in peers:
+            report = self.peer_reachable.get(peer)
+            if report is None or cell in report:
+                return peer
+        return None
+
+    def _send_down_path(self, ost: OStream, envelope: Envelope, size: int) -> None:
+        target = self._pick_downstream_broker(ost.pubend, ost.cell)
+        if target is not None:
+            self.services.send(target, envelope, size)
+        else:
+            peer = self._pick_sideways_peer(ost.cell)
+            if peer is not None and not envelope.sideways:
+                self.services.send(
+                    peer,
+                    Envelope(envelope.payload, target_cell=ost.cell, sideways=True),
+                    size,
+                )
+
+    def _send_upstream(
+        self, pubend: str, ist: IStream, envelope: Envelope, size: int
+    ) -> None:
+        """Acks/nacks go to whichever upstream broker last sent us this
+        pubend's traffic; if that is unknown or unusable, broadcast to all
+        physical brokers of the upstream cell (paper section 3.1)."""
+        route = self.topo.routes.get(pubend)
+        if route is None or route.upstream_cell is None:
+            return
+        sender = ist.last_upstream_sender
+        if sender is not None and self.services.link_usable(sender):
+            self.services.send(sender, envelope, size)
+            return
+        sent_any = False
+        for neighbor in self.topo.adjacent_in_cell(route.upstream_cell):
+            if self.services.link_usable(neighbor):
+                self.services.send(neighbor, envelope, size)
+                sent_any = True
+        if not sent_any:
+            self.bump("upstream_unreachable")
+
+    def _send_link_status(self) -> None:
+        reachable = frozenset(
+            self.topo.cell_of[n]
+            for n in self.topo.neighbors
+            if self.services.link_usable(n)
+            and self.topo.cell_of.get(n) != self.topo.cell
+        )
+        status = LinkStatusMessage(sender=self.topo.broker_id, reachable_cells=reachable)
+        for neighbor in sorted(self.topo.neighbors):
+            if self.services.link_usable(neighbor):
+                self.services.send(neighbor, status, 48)
+        if self.params.subscription_propagation:
+            self._readvertise_summaries()
+
+    def _on_link_status(self, status: LinkStatusMessage) -> None:
+        self.peer_reachable[status.sender] = status.reachable_cells
+
+    # ------------------------------------------------------------------
+    # Pubend silence + subend periodic drivers
+    # ------------------------------------------------------------------
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """A point-in-time snapshot of this broker's soft-state footprint.
+
+        The protocol's memory claim is that acknowledgement-driven garbage
+        collection keeps every stream's run-length representation small no
+        matter how long the system runs; these numbers are what the
+        boundedness tests assert on.
+        """
+        streams: Dict[str, Any] = {}
+        for pubend, ist in self.istreams.items():
+            entry = {
+                "istream_runs": ist.stream.knowledge.run_count(),
+                "istream_payloads": ist.stream.knowledge.d_tick_count(),
+                "curiosity_runs": ist.stream.curiosity.run_count(),
+                "acked_upstream": ist.acked_upstream,
+                "ostreams": {},
+            }
+            for cell, ost in self.ostreams.get(pubend, {}).items():
+                entry["ostreams"][cell] = {
+                    "runs": ost.stream.knowledge.run_count(),
+                    "payload_marks": ost.stream.knowledge.d_tick_count(),
+                    "ack_prefix": ost.ack_prefix(),
+                }
+            streams[pubend] = entry
+        return {
+            "broker": self.topo.broker_id,
+            "counters": dict(self.counters),
+            "pubends_hosted": sorted(self.pubends),
+            "log_entries": {
+                pubend_id: len(pb.log.entries(pubend_id))
+                for pubend_id, pb in self.pubends.items()
+            },
+            "streams": streams,
+        }
+
+    def _silence_check(self) -> None:
+        now = self.services.now()
+        for pb in self.pubends.values():
+            message = pb.maybe_silence(now)
+            if message is not None:
+                self._ingest_local(message)
+
+    def _subend_check(self) -> None:
+        if self.subend is not None:
+            self.subend.on_periodic()

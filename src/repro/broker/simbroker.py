@@ -1,0 +1,270 @@
+"""A physical broker hosted in the discrete-event simulator.
+
+Wraps :class:`~repro.broker.engine.GDBrokerEngine` in a
+:class:`~repro.sim.process.SimProcess`: network I/O goes through the
+simulated links, timers through the scheduler, CPU work through a
+:class:`~repro.metrics.cpu.CpuAccountant`, and client deliveries are
+scheduled at CPU-work completion time plus the client link latency (which
+is what makes SHB fan-out latency grow with subscriber count, Figure 5).
+
+Crash/restart semantics follow the paper's failure model:
+
+* a crash discards the engine — all istream/ostream/subend soft state —
+  but *not* the pubend logs (stable storage survives the process);
+* restart builds a fresh engine, re-hosts pubends by replaying their
+  logs, and restarts timers.  Subscriber state at a crashed SHB is gone;
+  the paper's guarantee only covers subscribers that remain connected,
+  and its experiments never crash an SHB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.config import LivenessParams
+from ..core.pubend import Pubend
+from ..core.subend import Subscription
+from ..core.ticks import Tick, TickRange
+from ..metrics.cpu import CostModel, CpuAccountant
+from ..metrics.recorder import MetricsHub
+from ..sim.network import SimNetwork
+from ..sim.process import SimProcess
+from ..sim.scheduler import Scheduler
+from ..storage.log import MessageLog
+from .engine import BrokerServices, GDBrokerEngine
+from .state import BrokerTopologyInfo
+
+__all__ = ["SimBroker", "SubscriberHooks"]
+
+
+@dataclass
+class _PubendHosting:
+    """Durable facts needed to re-host a pubend after a crash."""
+
+    pubend_id: str
+    log: MessageLog
+    slot: int
+    n_slots: int
+    preassign_window: Optional[float] = None
+
+
+class SubscriberHooks:
+    """Client-side delivery callback (duck-typed).
+
+    ``on_delivery(pubend, tick, payload, time)`` is invoked when the SHB
+    finishes writing the message to this subscriber's connection.
+    """
+
+    def on_delivery(self, pubend: str, tick: Tick, payload: Any, time: float) -> None:
+        raise NotImplementedError
+
+
+class _SimServices(BrokerServices):
+    def __init__(self, broker: "SimBroker"):
+        self.broker = broker
+
+    def now(self) -> float:
+        return self.broker.scheduler.now
+
+    def schedule(self, delay: float, fn: Callable[[], None]):
+        return self.broker.schedule(delay, fn)
+
+    def send(self, dst: str, message: Any, size: int = 100) -> bool:
+        self.broker.accountant.charge(self.broker.cost_model.broker_send, "send")
+        return self.broker.send(dst, message, size)
+
+    def link_usable(self, neighbor: str) -> bool:
+        # Models the TCP connection state: an adjacent failure (closed
+        # connection / dead process) is observed immediately, but a
+        # *stalled* peer looks healthy (paper section 4.2).
+        network = self.broker.network
+        if not network.has_link(self.broker.node_id, neighbor):
+            return False
+        link = network.link(self.broker.node_id, neighbor)
+        return link.up and link.other(self.broker.node_id).alive
+
+    def deliver(self, subscriber: str, pubend: str, tick: Tick, payload: Any) -> None:
+        self.broker.deliver_to_client(subscriber, pubend, tick, payload)
+
+    def charge(self, cost: float, category: str) -> None:
+        self.broker.charge_category(category)
+
+    def on_nack_message(self, pubend: str, ranges: List[TickRange]) -> None:
+        tick_count = sum(len(r) for r in ranges)
+        self.broker.metrics.nacks.record(
+            self.broker.node_id, self.broker.scheduler.now, tick_count
+        )
+
+    def on_knowledge_message(self, message) -> None:
+        self.broker.metrics.bump("knowledge_messages")
+
+
+class SimBroker(SimProcess):
+    """One physical Gryphon broker in the simulator."""
+
+    def __init__(
+        self,
+        node_id: str,
+        network: SimNetwork,
+        scheduler: Scheduler,
+        topo: BrokerTopologyInfo,
+        params: LivenessParams,
+        metrics: Optional[MetricsHub] = None,
+        cost_model: Optional[CostModel] = None,
+        client_latency: float = 0.0005,
+        restart_warmup: float = 0.3,
+    ):
+        super().__init__(node_id, network, scheduler)
+        #: CPU-seconds of extra work charged right after a restart —
+        #: models the paper's observation that a freshly restarted broker
+        #: is briefly slow ("extra computation in the broker machine just
+        #: when it starts up, such as to run the Java JIT compiler",
+        #: section 4.2), which produces Figure 7's second latency peak.
+        self.restart_warmup = restart_warmup
+        self.topo = topo
+        self.params = params
+        self.metrics = metrics if metrics is not None else MetricsHub()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.client_latency = client_latency
+        self.accountant = CpuAccountant(lambda: scheduler.now)
+        self._hostings: Dict[str, _PubendHosting] = {}
+        self._subscriptions: List[Subscription] = []
+        self._clients: Dict[str, SubscriberHooks] = {}
+        self.services = _SimServices(self)
+        self.engine = GDBrokerEngine(topo, params, self.services)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def host_pubend(
+        self,
+        pubend_id: str,
+        log: MessageLog,
+        slot: int = 0,
+        n_slots: int = 1,
+        preassign_window: Optional[float] = None,
+    ) -> Pubend:
+        """Become the PHB for ``pubend_id`` with the given stable log."""
+        hosting = _PubendHosting(pubend_id, log, slot, n_slots, preassign_window)
+        self._hostings[pubend_id] = hosting
+        return self._adopt(hosting, recover=False)
+
+    def _adopt(self, hosting: _PubendHosting, recover: bool) -> Pubend:
+        pubend = Pubend(
+            hosting.pubend_id,
+            hosting.log,
+            slot=hosting.slot,
+            n_slots=hosting.n_slots,
+            aet=self.params.aet,
+            silence_interval=self.params.silence_interval,
+            preassign_window=(
+                hosting.preassign_window
+                if hosting.preassign_window is not None
+                else self.params.preassign_window
+            ),
+        )
+        if recover:
+            pubend.recover()
+        self.engine.host_pubend(pubend)
+        return pubend
+
+    def add_subscription(
+        self, subscription: Subscription, client: Optional[SubscriberHooks] = None
+    ) -> None:
+        self._subscriptions.append(subscription)
+        if client is not None:
+            self._clients[subscription.subscriber] = client
+        self.engine.add_subscription(subscription)
+
+    def start(self) -> None:
+        """Arm periodic protocol timers.  Call after configuration."""
+        self._started = True
+        self.engine.start()
+
+    # ------------------------------------------------------------------
+    # Publishing and delivery
+    # ------------------------------------------------------------------
+
+    def publish(self, pubend_id: str, payload: Any) -> Optional[Tick]:
+        """Client publish: log (GD cost) and propagate after commit.
+
+        Returns ``None`` when the broker is down — the publishing client's
+        message is *not published* and will never be delivered (paper
+        section 2.2: only logged messages are published).
+        """
+        if not self.alive:
+            return None
+        self.accountant.charge(
+            self.cost_model.msg_receive + self.cost_model.log_append, "publish"
+        )
+        return self.engine.publish(pubend_id, payload)
+
+    def deliver_to_client(
+        self, subscriber: str, pubend: str, tick: Tick, payload: Any
+    ) -> None:
+        """Queue the per-subscriber socket write; the client sees the
+        message when the write completes (CPU queue + client link)."""
+        completion = self.accountant.charge(self.cost_model.client_send, "fanout")
+        client = self._clients.get(subscriber)
+        if client is None:
+            return
+        delay = (completion - self.scheduler.now) + self.client_latency
+        self.schedule(
+            delay,
+            lambda: client.on_delivery(pubend, tick, payload, self.scheduler.now),
+        )
+
+    def charge_category(self, category: str) -> None:
+        model = self.cost_model
+        if category == "knowledge_receive":
+            cost = model.msg_receive + model.knowledge_update
+            if self.engine.subend is not None:
+                # Consolidated per-message (not per-subscriber) GD subend
+                # bookkeeping — the reason the GD-vs-BE gap stays constant
+                # as subscribers grow (paper section 4.1).
+                cost += model.gd_subend_update + model.match
+        elif category == "knowledge_send":
+            cost = 0.0  # charged in _SimServices.send
+        elif category == "publish":
+            cost = model.knowledge_update
+        else:
+            cost = model.control
+        if cost:
+            self.accountant.charge(cost, category)
+
+    # ------------------------------------------------------------------
+    # SimProcess plumbing
+    # ------------------------------------------------------------------
+
+    def on_message(self, src: str, message: Any) -> None:
+        # Messages are processed when the CPU gets to them: a busy or
+        # freshly restarted broker delays its queue, which is visible as
+        # end-to-end latency (Figures 5 and 7).
+        completion = self.accountant.charge(self.cost_model.msg_receive, "receive")
+        delay = completion - self.scheduler.now
+        if delay > 1e-6:
+            self.schedule(delay, lambda: self._process(src, message))
+        else:
+            self.engine.on_message(src, message)
+
+    def _process(self, src: str, message: Any) -> None:
+        if self.alive and self.engine is not None:
+            self.engine.on_message(src, message)
+
+    def on_crash(self) -> None:
+        # All soft state dies with the process; logs survive.
+        self.engine = None  # type: ignore[assignment]
+
+    def on_restart(self) -> None:
+        if self.restart_warmup:
+            self.accountant.charge(self.restart_warmup, "warmup")
+        self.engine = GDBrokerEngine(self.topo, self.params, self.services)
+        for hosting in self._hostings.values():
+            self._adopt(hosting, recover=True)
+        # NOTE: subscriptions at a crashed SHB are not restored — clients
+        # must reconnect/resubscribe (outside the paper's failure model).
+        if self._started:
+            self.engine.start()

@@ -1,0 +1,155 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro fig6                  # Figure 6 link-failure dynamics
+    python -m repro fig7 --seed 11        # Figure 7 with a different seed
+    python -m repro overhead --subs 100 400 --rate 200
+    python -m repro quickcheck            # fast end-to-end sanity run
+
+Each experiment prints the same rows/series the corresponding benchmark
+asserts on (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.fig45 import run_overhead_sweep
+from .experiments.fig678 import run_fault_experiment
+
+__all__ = ["main"]
+
+
+def _cmd_fault(args: argparse.Namespace) -> int:
+    fault = {"fig6": "link_b1_s1", "fig7": "crash_b1", "fig8": "crash_p1"}[args.command]
+    result = run_fault_experiment(fault, seed=args.seed)
+    if args.dump:
+        from .analysis import cumulative, write_series_csv
+
+        series = {
+            f"latency:{sub}": points for sub, points in result.latency.items()
+        }
+        series.update(
+            {f"nack_range:{node}": cumulative(points)
+             for node, points in result.nacks.items()}
+        )
+        with open(args.dump, "w", encoding="utf-8", newline="") as fh:
+            rows = write_series_csv(fh, series)
+        print(f"wrote {rows} rows to {args.dump}")
+    print(f"fault experiment: {fault} (seed {args.seed})")
+    for line in result.fault_log:
+        print(f"  {line}")
+    print()
+    print(f"{'subscriber':>10} {'delivered':>10} {'expected':>9} "
+          f"{'exactly once':>13} {'peak lat (s)':>13}")
+    for sub in sorted(result.latency):
+        delivered, expected = result.counts[sub]
+        print(
+            f"{sub:>10} {delivered:>10} {expected:>9} "
+            f"{str(result.exactly_once[sub]):>13} "
+            f"{result.max_latency(sub):>13.2f}"
+        )
+    print()
+    if result.nacks:
+        print(f"{'node':>6} {'nack msgs':>10} {'nack range (ms)':>16}")
+        for node in sorted(result.nacks):
+            print(
+                f"{node:>6} {result.nack_count(node):>10} "
+                f"{result.nack_range_total(node):>16.0f}"
+            )
+    else:
+        print("no nacks were needed")
+    return 0 if result.all_exactly_once() else 1
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    points = run_overhead_sweep(
+        args.subs,
+        input_rate=args.rate,
+        warmup=args.warmup,
+        measure=args.measure,
+    )
+    print(
+        f"{'protocol':>11} {'N':>6} {'SHB CPU':>8} {'PHB CPU':>8} "
+        f"{'local ms':>9} {'remote ms':>10}"
+    )
+    for point in points:
+        print(
+            f"{point.protocol:>11} {point.n_subscribers:>6} "
+            f"{100 * point.shb_cpu:>7.2f}% {100 * point.phb_cpu:>7.2f}% "
+            f"{point.local_median_ms:>9.1f} {point.remote_median_ms:>10.1f}"
+        )
+    return 0
+
+
+def _cmd_quickcheck(args: argparse.Namespace) -> int:
+    from .client import DeliveryChecker
+    from .core.config import LivenessParams
+    from .topology import two_broker_topology
+
+    topo = two_broker_topology()
+    topo.pubend("P0", "phb")
+    topo.route("P0", "PHB", "SHB")
+    system = topo.build(seed=args.seed, params=LivenessParams(gct=0.1, nrt_min=0.3))
+    system.network.link("phb", "shb").drop_probability = 0.1
+    client = system.subscribe("check", "shb", ("P0",))
+    publisher = system.publisher("P0", rate=100.0)
+    publisher.start(at=0.1)
+    system.run_until(3.0)
+    publisher.stop()
+    system.run_until(10.0)
+    report = DeliveryChecker([publisher]).check(
+        client, system.subscriptions["check"]
+    )
+    print(
+        f"published {len(publisher.published)}, delivered {report.delivered}, "
+        f"exactly once: {report.exactly_once} "
+        f"(10% of messages were dropped on the wire)"
+    )
+    return 0 if report.exactly_once else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gryphon guaranteed-delivery reproduction — experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("fig6", "Figure 6: b1-s1 link failure dynamics"),
+        ("fig7", "Figure 7: intermediate broker crash"),
+        ("fig8", "Figure 8: publisher-hosting broker crash"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument(
+            "--dump", metavar="CSV",
+            help="write latency and cumulative-nack series as long-form CSV",
+        )
+        p.set_defaults(fn=_cmd_fault)
+
+    p = sub.add_parser("overhead", help="Figures 4-5: GD vs best-effort sweep")
+    p.add_argument("--subs", type=int, nargs="+", default=[100, 400, 1600])
+    p.add_argument("--rate", type=float, default=200.0)
+    p.add_argument("--warmup", type=float, default=1.5)
+    p.add_argument("--measure", type=float, default=6.0)
+    p.set_defaults(fn=_cmd_overhead)
+
+    p = sub.add_parser("quickcheck", help="fast exactly-once sanity run")
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(fn=_cmd_quickcheck)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

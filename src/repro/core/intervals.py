@@ -1,0 +1,276 @@
+"""A coalescing interval map over the tick axis.
+
+Every stream in the knowledge model conceptually assigns a value to *every*
+tick in ``[0, inf)``.  In practice knowledge and curiosity are constant over
+long runs of ticks (an ever-growing final prefix, ranges of silence, bursts
+of curiosity), so streams are stored as run-length encoded interval maps:
+a sorted list of disjoint, coalesced ``(start, stop, value)`` runs, with
+every tick not covered by a run having the map's *default* value.
+
+The map is value-agnostic; knowledge streams use it with :class:`~repro.core.lattice.K`
+values (default ``Q``) and curiosity streams with :class:`~repro.core.lattice.C`
+values (default ``N``).  Payload data for D ticks is kept out of the map
+(streams store payloads in a side dict keyed by tick) so that runs coalesce
+freely.
+
+Complexity: point queries are ``O(log r)`` and range updates are
+``O(log r + k)`` where ``r`` is the number of runs and ``k`` the number of
+runs overlapping the update, via :mod:`bisect` plus a local splice.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .ticks import Tick, TickRange
+
+__all__ = ["IntervalMap"]
+
+V = TypeVar("V")
+
+
+class IntervalMap(Generic[V]):
+    """Map from tick to value, run-length encoded, with a default value.
+
+    Invariants (checked by :meth:`check_invariants`, exercised heavily by
+    the property-based tests):
+
+    * runs are sorted by ``start`` and pairwise disjoint;
+    * no run is empty;
+    * no run carries the default value;
+    * adjacent runs with equal values are coalesced.
+    """
+
+    __slots__ = ("default", "_starts", "_stops", "_values")
+
+    def __init__(self, default: V):
+        self.default = default
+        self._starts: List[Tick] = []
+        self._stops: List[Tick] = []
+        self._values: List[V] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def get(self, tick: Tick) -> V:
+        """The value at ``tick`` (the default when no run covers it)."""
+        i = bisect_right(self._starts, tick) - 1
+        if i >= 0 and tick < self._stops[i]:
+            return self._values[i]
+        return self.default
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def run_count(self) -> int:
+        """Number of stored (non-default) runs."""
+        return len(self._starts)
+
+    def span(self) -> Optional[TickRange]:
+        """The covering range of all non-default runs, or ``None`` if empty."""
+        if not self._starts:
+            return None
+        return TickRange(self._starts[0], self._stops[-1])
+
+    def runs(self) -> Iterator[Tuple[TickRange, V]]:
+        """Iterate the stored (non-default) runs in order."""
+        for start, stop, value in zip(self._starts, self._stops, self._values):
+            yield TickRange(start, stop), value
+
+    def iter_runs(self, lo: Tick, hi: Tick) -> Iterator[Tuple[TickRange, V]]:
+        """Iterate runs covering ``[lo, hi)`` completely, default gaps included.
+
+        The yielded ranges partition ``[lo, hi)`` exactly; consecutive
+        yielded runs never share a value (gaps are merged with nothing).
+        """
+        if hi <= lo:
+            return
+        cursor = lo
+        i = max(bisect_right(self._starts, lo) - 1, 0)
+        while cursor < hi and i < len(self._starts):
+            start, stop, value = self._starts[i], self._stops[i], self._values[i]
+            if stop <= cursor:
+                i += 1
+                continue
+            if start >= hi:
+                break
+            if start > cursor:
+                yield TickRange(cursor, min(start, hi)), self.default
+                cursor = min(start, hi)
+                if cursor >= hi:
+                    return
+            piece_stop = min(stop, hi)
+            yield TickRange(cursor, piece_stop), value
+            cursor = piece_stop
+            i += 1
+        if cursor < hi:
+            yield TickRange(cursor, hi), self.default
+
+    def ranges_with(
+        self, pred: Callable[[V], bool], lo: Tick, hi: Tick
+    ) -> List[TickRange]:
+        """All maximal sub-ranges of ``[lo, hi)`` whose value satisfies ``pred``."""
+        found: List[TickRange] = []
+        for rng, value in self.iter_runs(lo, hi):
+            if pred(value):
+                if found and found[-1].stop == rng.start:
+                    found[-1] = TickRange(found[-1].start, rng.stop)
+                else:
+                    found.append(rng)
+        return found
+
+    def first_with(
+        self, pred: Callable[[V], bool], lo: Tick, hi: Optional[Tick] = None
+    ) -> Optional[Tick]:
+        """The first tick ``>= lo`` (and ``< hi`` if given) whose value satisfies ``pred``.
+
+        When ``hi`` is ``None`` the search extends past the last stored run;
+        if ``pred`` holds for the default value the first default tick at or
+        after ``lo`` is returned, otherwise ``None``.
+        """
+        limit = hi if hi is not None else (self._stops[-1] if self._stops else lo)
+        for rng, value in self.iter_runs(lo, max(limit, lo)):
+            if pred(value):
+                return rng.start
+        if hi is None and pred(self.default):
+            return max(lo, self._stops[-1] if self._stops else lo)
+        return None
+
+    def to_dict(self, lo: Tick, hi: Tick) -> dict:
+        """Materialize ``{tick: value}`` over ``[lo, hi)`` (testing helper)."""
+        return {t: self.get(t) for t in range(lo, hi)}
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def set_range(self, rng: TickRange, value: V) -> None:
+        """Overwrite every tick in ``rng`` with ``value``."""
+        self._apply(rng, lambda _old: value)
+
+    def set_value(self, tick: Tick, value: V) -> None:
+        """Overwrite a single tick."""
+        self.set_range(TickRange.single(tick), value)
+
+    def clear_range(self, rng: TickRange) -> None:
+        """Reset every tick in ``rng`` to the default value."""
+        self.set_range(rng, self.default)
+
+    def combine_range(self, rng: TickRange, value: V, fn: Callable[[V, V], V]) -> None:
+        """Set each tick in ``rng`` to ``fn(old_value, value)``.
+
+        This is the primitive behind knowledge accumulation (``fn`` = lattice
+        least upper bound) and curiosity consolidation.
+        """
+        self._apply(rng, lambda old: fn(old, value))
+
+    def transform_range(self, rng: TickRange, fn: Callable[[V], V]) -> None:
+        """Apply ``fn`` to the existing value of each tick in ``rng``."""
+        self._apply(rng, fn)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _apply(self, rng: TickRange, fn: Callable[[V], V]) -> None:
+        lo, hi = rng.start, rng.stop
+        # Indices of stored runs overlapping [lo, hi).
+        first = bisect_right(self._stops, lo)
+        last = bisect_left(self._starts, hi)  # exclusive
+
+        # Pieces replacing the [first:last) slice: the kept prefix of the
+        # first overlapping run, transformed pieces over [lo, hi), and the
+        # kept suffix of the last overlapping run.
+        pieces: List[Tuple[Tick, Tick, V]] = []
+        if first < last and self._starts[first] < lo:
+            pieces.append((self._starts[first], lo, self._values[first]))
+
+        cursor = lo
+        i = first
+        while cursor < hi:
+            if i < last and self._starts[i] <= cursor < self._stops[i]:
+                piece_stop = min(self._stops[i], hi)
+                new_value = fn(self._values[i])
+                pieces.append((cursor, piece_stop, new_value))
+                cursor = piece_stop
+                if cursor >= self._stops[i]:
+                    i += 1
+            else:
+                gap_stop = self._starts[i] if i < last else hi
+                gap_stop = min(gap_stop, hi)
+                new_value = fn(self.default)
+                pieces.append((cursor, gap_stop, new_value))
+                cursor = gap_stop
+
+        if last > first and self._stops[last - 1] > hi:
+            pieces.append((hi, self._stops[last - 1], self._values[last - 1]))
+
+        # Drop default-valued pieces and coalesce equal neighbours, folding
+        # in the runs immediately before and after the splice.
+        kept = [(s, e, v) for (s, e, v) in pieces if v != self.default and s < e]
+
+        splice_from, splice_to = first, last
+        if splice_from > 0:
+            splice_from -= 1
+            kept.insert(
+                0,
+                (
+                    self._starts[splice_from],
+                    self._stops[splice_from],
+                    self._values[splice_from],
+                ),
+            )
+        if splice_to < len(self._starts):
+            kept.append(
+                (
+                    self._starts[splice_to],
+                    self._stops[splice_to],
+                    self._values[splice_to],
+                )
+            )
+            splice_to += 1
+
+        coalesced: List[Tuple[Tick, Tick, V]] = []
+        for start, stop, value in kept:
+            if coalesced and coalesced[-1][1] == start and coalesced[-1][2] == value:
+                coalesced[-1] = (coalesced[-1][0], stop, value)
+            else:
+                coalesced.append((start, stop, value))
+
+        self._starts[splice_from:splice_to] = [p[0] for p in coalesced]
+        self._stops[splice_from:splice_to] = [p[1] for p in coalesced]
+        self._values[splice_from:splice_to] = [p[2] for p in coalesced]
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`AssertionError` if internal invariants are violated."""
+        prev_stop: Optional[Tick] = None
+        prev_value: Optional[V] = None
+        for start, stop, value in zip(self._starts, self._stops, self._values):
+            assert start < stop, f"empty run [{start},{stop})"
+            assert value != self.default, f"default-valued run at [{start},{stop})"
+            if prev_stop is not None:
+                assert start >= prev_stop, "overlapping runs"
+                if start == prev_stop:
+                    assert value != prev_value, "uncoalesced adjacent runs"
+            prev_stop, prev_value = stop, value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(
+            f"[{s},{e})={v!r}"
+            for s, e, v in zip(self._starts, self._stops, self._values)
+        )
+        return f"IntervalMap(default={self.default!r}, {body})"
+
+    def copy(self) -> "IntervalMap[V]":
+        """A shallow copy (values are shared; runs are independent)."""
+        clone: IntervalMap[V] = IntervalMap(self.default)
+        clone._starts = list(self._starts)
+        clone._stops = list(self._stops)
+        clone._values = list(self._values)
+        return clone

@@ -1,0 +1,246 @@
+"""Pubend: the source node of a knowledge tree.
+
+A pubend (publisher endpoint, paper section 2.2) consolidates one or more
+publishers into a single knowledge stream of the form ``F* [D|F]* Q*``:
+an acknowledged past, an unacknowledged present, and an unknown future.
+
+Responsibilities implemented here:
+
+* **Tick assignment** — each published message receives a unique tick;
+  ticks of one pubend are congruent to its *slot* modulo the slot count,
+  so that pubend streams that are ever merged never place different data
+  on the same tick (paper section 2.2).
+* **Logging** — the message is appended to stable storage *before* being
+  considered published; the hosting broker schedules the downstream send
+  after the log's commit latency.
+* **Bracketing silence** — publishing tick ``t`` finalizes all ticks since
+  the previous D, so the emitted data message has the paper's
+  ``F*Q*F*DF*Q*`` form and downstream doubt horizons advance continuously.
+* **Idle silence** — after ``silence_interval`` without publications a
+  range of Q ticks is changed to F (optionally broadcast downstream —
+  pre-assigning F improves downstream merges, see Aguilera & Strom 2000).
+* **Pubend-driven liveness (AET)** — ticks older than ``now - AET`` are
+  expected to be acknowledged; paths that have not acked receive an
+  AckExpected probe.
+* **Crash recovery** — the knowledge stream is rebuilt by replaying the
+  log; the durable truncation point seeds the final prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..storage.log import LogEntry, MessageLog
+from .lattice import K
+from .messages import AckExpectedMessage, DataTick, KnowledgeMessage
+from .streams import KnowledgeStream
+from .ticks import Tick, TickRange, tick_of_time
+
+__all__ = ["Pubend"]
+
+
+class Pubend:
+    """State and pure protocol logic of one pubend.
+
+    The hosting broker (PHB) owns timers and transport; this class only
+    assigns ticks, maintains the root knowledge stream, talks to the log,
+    and builds protocol messages.
+    """
+
+    def __init__(
+        self,
+        pubend_id: str,
+        log: MessageLog,
+        slot: int = 0,
+        n_slots: int = 1,
+        aet: float = 10.0,
+        silence_interval: float = 0.5,
+        preassign_window: float = 0.0,
+    ):
+        if not 0 <= slot < n_slots:
+            raise ValueError(f"slot {slot} out of range for n_slots {n_slots}")
+        if preassign_window < 0:
+            raise ValueError("preassign_window must be non-negative")
+        self.pubend_id = pubend_id
+        self.log = log
+        self.slot = slot
+        self.n_slots = n_slots
+        self.aet = aet
+        self.silence_interval = silence_interval
+        #: Pre-assigned finality (paper section 2.2, after Aguilera &
+        #: Strom 2000): a pubend that knows its expected publication
+        #: period can assign F to that many seconds of *future* ticks
+        #: with every message, so downstream merges never wait on it.
+        #: The trade-off: a message arriving earlier than expected is
+        #: stamped at the end of the pre-assigned window (ticks must stay
+        #: monotone past finalized ranges).
+        self.preassign_window = preassign_window
+        #: Root knowledge stream (``F* [D|F]* Q*``).
+        self.stream = KnowledgeStream()
+        #: Prefix acknowledged by *all* downstream paths (soft state;
+        #: rebuilt from the durable truncation point after a crash).
+        self.acked_up_to: Tick = 0
+        self.publish_count = 0
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def assign_tick(self, now: float) -> Tick:
+        """The tick for a message published at time ``now``.
+
+        Strictly later than every tick already known to the stream, at or
+        after real time, and congruent to ``slot`` modulo ``n_slots``.
+        """
+        floor = max(self.stream.horizon(), tick_of_time(now))
+        remainder = floor % self.n_slots
+        candidate = floor + (self.slot - remainder) % self.n_slots
+        if candidate < floor:  # defensive; (a - b) % n is non-negative
+            candidate += self.n_slots
+        return candidate
+
+    def publish(self, payload: Any, now: float) -> KnowledgeMessage:
+        """Log a publication and return its first-time data message.
+
+        The message is durable when this returns (callers model the commit
+        latency by delaying the *send*, not the append).  The returned
+        message finalizes the silent range since the previous D tick and
+        carries the acked prefix, giving the ``F*Q*F*DF*Q*`` form.
+        """
+        tick = self.assign_tick(now)
+        prev_horizon = self.stream.horizon()
+        self.log.append(LogEntry(self.pubend_id, tick, payload))
+        f_ranges: List[TickRange] = []
+        if tick > prev_horizon:
+            f_ranges.append(TickRange(prev_horizon, tick))
+            self.stream.accumulate_final(f_ranges[0])
+        self.stream.accumulate_data(tick, payload)
+        if self.preassign_window > 0:
+            future = TickRange(
+                tick + 1, tick + 1 + tick_of_time(self.preassign_window)
+            )
+            self.stream.accumulate_final(future)
+            f_ranges.append(future)
+        self.publish_count += 1
+        return KnowledgeMessage(
+            pubend=self.pubend_id,
+            fin_prefix=self.acked_up_to,
+            f_ranges=tuple(r for r in f_ranges if r.stop > self.acked_up_to),
+            data=(DataTick(tick, payload),),
+        )
+
+    # ------------------------------------------------------------------
+    # Silence
+    # ------------------------------------------------------------------
+
+    def maybe_silence(self, now: float) -> Optional[KnowledgeMessage]:
+        """Finalize the idle range, if long enough, and return its
+        first-time silence message (``F*Q*F*Q*``).
+
+        Returns ``None`` when the pubend has published recently.  The
+        silence extends up to the current tick; :meth:`assign_tick` never
+        assigns a tick below the stream horizon, so a message published
+        immediately afterwards cannot collide with the silenced range.
+        """
+        horizon = self.stream.horizon()
+        now_tick = tick_of_time(now)
+        if now_tick - horizon < tick_of_time(self.silence_interval):
+            return None
+        rng = TickRange(horizon, now_tick)
+        self.stream.accumulate_final(rng)
+        return KnowledgeMessage(
+            pubend=self.pubend_id,
+            fin_prefix=self.acked_up_to,
+            f_ranges=(rng,),
+            data=(),
+        )
+
+    # ------------------------------------------------------------------
+    # Acknowledgement and pubend-driven liveness
+    # ------------------------------------------------------------------
+
+    def record_ack(self, up_to: Tick) -> bool:
+        """All downstream paths acknowledged ``[0, up_to)``.
+
+        Finalizes the prefix, truncates the log, and returns True when the
+        acked prefix advanced.  (The hosting broker calls this only after
+        consolidating acks over *all* its downstream paths.)
+        """
+        if up_to <= self.acked_up_to:
+            return False
+        self.acked_up_to = up_to
+        self.stream.finalize(TickRange(0, up_to))
+        self.log.truncate(self.pubend_id, up_to)
+        return True
+
+    def ack_expected_tick(self, now: float) -> Optional[Tick]:
+        """The AckExpected timestamp to probe with, or ``None``.
+
+        Ticks more than AET before now are expected to be acked.  The
+        probe never exceeds the stream horizon: a pubend that just
+        recovered probes with the tick of the last message it logged
+        before the crash (paper section 4.2, p1-crash experiment).
+        """
+        if self.aet == float("inf"):
+            return None  # pubend-driven liveness disabled
+        threshold = min(tick_of_time(now - self.aet), self.stream.horizon())
+        if threshold > self.acked_up_to:
+            return threshold
+        return None
+
+    def make_ack_expected(self, up_to: Tick) -> AckExpectedMessage:
+        return AckExpectedMessage(pubend=self.pubend_id, up_to=up_to)
+
+    # ------------------------------------------------------------------
+    # Retransmission and recovery
+    # ------------------------------------------------------------------
+
+    def retransmission(self, ranges: List[TickRange]) -> Optional[KnowledgeMessage]:
+        """A retransmitted knowledge message answering curiosity.
+
+        The pubend is the authority: every tick below its horizon is
+        either D (payload in the stream, backed by the log) or F.  Ticks
+        at or above the horizon are genuinely unknown and stay Q.
+        """
+        data: List[DataTick] = []
+        f_ranges: List[TickRange] = []
+        horizon = self.stream.horizon()
+        for rng in ranges:
+            capped_stop = min(rng.stop, horizon)
+            if capped_stop <= rng.start:
+                continue
+            capped = TickRange(rng.start, capped_stop)
+            for run, value in self.stream.iter_runs(capped.start, capped.stop):
+                if value == K.D:
+                    for tick in run:
+                        data.append(DataTick(tick, self.stream.payload_at(tick)))
+                elif value == K.F:
+                    f_ranges.append(run)
+        if not data and not f_ranges:
+            return None
+        return KnowledgeMessage(
+            pubend=self.pubend_id,
+            fin_prefix=self.acked_up_to,
+            f_ranges=tuple(f_ranges),
+            data=tuple(sorted(data, key=lambda d: d.tick)),
+            retransmit=True,
+        )
+
+    def recover(self) -> int:
+        """Rebuild soft state from the log after a crash.
+
+        Returns the number of replayed entries.  The durable truncation
+        point becomes the acked prefix; gaps between logged D ticks are
+        re-finalized (they were silent).
+        """
+        self.stream = KnowledgeStream()
+        self.acked_up_to = self.log.truncated_below(self.pubend_id)
+        if self.acked_up_to > 0:
+            self.stream.accumulate_final(TickRange(0, self.acked_up_to))
+        entries = self.log.entries(self.pubend_id)
+        for entry in entries:
+            horizon = self.stream.horizon()
+            if entry.tick > horizon:
+                self.stream.accumulate_final(TickRange(horizon, entry.tick))
+            self.stream.accumulate_data(entry.tick, entry.payload)
+        return len(entries)

@@ -1,0 +1,356 @@
+"""Knowledge and curiosity streams.
+
+Every node of the knowledge graph holds a *stream*: a knowledge stream
+(which ticks carry data, which are silent/final) plus a curiosity stream
+(how urgently downstream consumers need each tick).  This module implements
+both as run-length encoded :class:`~repro.core.intervals.IntervalMap` maps,
+together with the operational normalizations of section 3 of the paper:
+
+* only ``Q``, ``D`` and ``F`` are materialized — incoming silence (``S``)
+  and delivered-data (``D*``) values are automatically lowered to ``F``
+  ("In the current algorithm, any S or D* tick is automatically lowered
+  to F");
+* payloads of D ticks are stored out-of-band so runs coalesce;
+* a knowledge tick reaching ``F`` forces its curiosity to ``A``
+  (the F ⇔ A linkage is enforced by :class:`Stream`, which owns both maps);
+* any stream except a pubend's may *forget* ranges (drop them to ``Q``),
+  modelling soft state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+from .intervals import IntervalMap
+from .lattice import C, K, KnowledgeConflictError, k_lub
+from .ticks import Tick, TickRange
+
+__all__ = ["KnowledgeStream", "CuriosityStream", "Stream"]
+
+
+def _lower(value: K) -> K:
+    """Operational lowering: S and D* collapse to F (paper section 2.1)."""
+    if value in (K.S, K.DSTAR):
+        return K.F
+    return value
+
+
+class KnowledgeStream:
+    """Per-tick knowledge with payloads for D ticks.
+
+    The stream conceptually covers ``[0, inf)``; unmentioned ticks are ``Q``.
+    All mutation goes through *accumulation* (monotone upward: lattice least
+    upper bound, then lowered into {Q, D, F}) or *forgetting* (monotone
+    downward: drop to Q, or finalize D into F when its payload is no longer
+    needed).
+    """
+
+    __slots__ = ("_map", "_payloads")
+
+    def __init__(self) -> None:
+        self._map: IntervalMap[K] = IntervalMap(K.Q)
+        self._payloads: Dict[Tick, Any] = {}
+
+    # -- queries --------------------------------------------------------
+
+    def value_at(self, tick: Tick) -> K:
+        return self._map.get(tick)
+
+    def payload_at(self, tick: Tick) -> Any:
+        """The payload of a D tick (KeyError for non-D ticks)."""
+        return self._payloads[tick]
+
+    def has_payload(self, tick: Tick) -> bool:
+        return tick in self._payloads
+
+    def final_prefix(self) -> Tick:
+        """First tick ``p`` such that tick ``p`` is not final; all ticks
+        below ``p`` are F."""
+        first_nonfinal = self._map.first_with(lambda v: v != K.F, 0)
+        return first_nonfinal if first_nonfinal is not None else self.horizon()
+
+    def horizon(self) -> Tick:
+        """One past the last non-Q tick (0 when the stream is empty)."""
+        span = self._map.span()
+        return span.stop if span is not None else 0
+
+    def doubt_horizon(self) -> Tick:
+        """The first Q tick.
+
+        All ticks below the doubt horizon are D or F, so D messages below
+        it may be delivered in order (paper section 2.3).
+        """
+        first_q = self._map.first_with(lambda v: v == K.Q, 0)
+        return first_q if first_q is not None else self.horizon()
+
+    def gaps(self) -> List[TickRange]:
+        """Maximal Q ranges strictly below the horizon.
+
+        These are the gaps whose persistence triggers curiosity (GCT).
+        """
+        return self._map.ranges_with(lambda v: v == K.Q, 0, self.horizon())
+
+    def runs(self) -> Iterator[Tuple[TickRange, K]]:
+        """Stored non-Q runs, in order."""
+        return self._map.runs()
+
+    def iter_runs(self, lo: Tick, hi: Tick) -> Iterator[Tuple[TickRange, K]]:
+        return self._map.iter_runs(lo, hi)
+
+    def ranges_with(
+        self, pred: Callable[[K], bool], lo: Tick, hi: Tick
+    ) -> List[TickRange]:
+        return self._map.ranges_with(pred, lo, hi)
+
+    def d_ticks(self, rng: TickRange) -> List[Tuple[Tick, Any]]:
+        """All (tick, payload) pairs with a D value inside ``rng``."""
+        out: List[Tuple[Tick, Any]] = []
+        for run, value in self._map.iter_runs(rng.start, rng.stop):
+            if value == K.D:
+                for tick in run:
+                    out.append((tick, self._payloads.get(tick)))
+        return out
+
+    def d_tick_count(self) -> int:
+        return len(self._payloads)
+
+    def run_count(self) -> int:
+        """Stored non-Q runs — the stream's actual memory footprint."""
+        return self._map.run_count()
+
+    # -- accumulation (monotone up) --------------------------------------
+
+    def accumulate_data(self, tick: Tick, payload: Any) -> bool:
+        """Accumulate knowledge of a data message at ``tick``.
+
+        Returns True when this tick's knowledge actually changed (Q -> D);
+        re-receiving a known D is a no-op, and data arriving for an
+        already-final tick is dropped (D + F = D* which lowers to F).
+        """
+        old = self._map.get(tick)
+        new = _lower(k_lub(old, K.D))
+        if old == K.D and new == K.D:
+            return False
+        if new == old:
+            return False
+        self._map.set_value(tick, new)
+        if new == K.D:
+            self._payloads[tick] = payload
+            return True
+        return False
+
+    def accumulate_final(self, rng: TickRange) -> bool:
+        """Accumulate finality (F) over ``rng``.
+
+        Covers both incoming silence and final prefixes: every tick in the
+        range moves up the lattice via lub with F, so Q -> F, F -> F and
+        D -> D* (lowered to F, payload dropped — the data is known to be
+        unneeded downstream).  Returns True when anything changed.
+        """
+        changed = self._map.first_with(lambda v: v != K.F, rng.start, rng.stop)
+        if changed is None:
+            return False
+        for tick in list(self._payloads):
+            if tick in rng:
+                del self._payloads[tick]
+        self._map.set_range(rng, K.F)
+        return True
+
+    def accumulate_silence(self, rng: TickRange) -> None:
+        """Accumulate an *abstract-model* silence claim over ``rng``.
+
+        Unlike :meth:`accumulate_final`, combining silence with existing
+        data is a contradiction and raises
+        :class:`~repro.core.lattice.KnowledgeConflictError`.  The operational
+        protocol never sends S (silence travels as F); this entry point
+        exists for the abstract model and its tests.
+        """
+        for run, value in list(self._map.iter_runs(rng.start, rng.stop)):
+            lowered = _lower(k_lub(value, K.S))
+            if lowered != value:
+                self._map.set_range(run, lowered)
+
+    # -- forgetting (monotone down) ---------------------------------------
+
+    def forget(self, rng: TickRange) -> None:
+        """Drop every tick in ``rng`` to Q (soft-state loss or discard)."""
+        for tick in list(self._payloads):
+            if tick in rng:
+                del self._payloads[tick]
+        self._map.clear_range(rng)
+
+    def forget_all(self) -> None:
+        """Drop the entire stream (broker crash)."""
+        self._payloads.clear()
+        self._map = IntervalMap(K.Q)
+
+    def finalize(self, rng: TickRange) -> None:
+        """Lower D ticks in ``rng`` to F, dropping payloads (garbage
+        collection after acknowledgement).  Q ticks also become F: once a
+        range is acked no knowledge about it is needed."""
+        self.accumulate_final(rng)
+
+    def check_invariants(self) -> None:
+        self._map.check_invariants()
+        for tick, __ in self._payloads.items():
+            assert self._map.get(tick) == K.D, f"payload at non-D tick {tick}"
+        for run, value in self._map.runs():
+            if value == K.D:
+                for tick in run:
+                    assert tick in self._payloads, f"D tick {tick} without payload"
+
+
+class CuriosityStream:
+    """Per-tick curiosity.  Unmentioned ticks are neutral (``N``).
+
+    ``A`` (anti-curious) is absorbing: once a tick is acknowledged it can
+    never become curious again — the data was delivered (or finalized) and
+    will not be needed.  ``C`` overwrites ``N`` but not ``A``.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self) -> None:
+        self._map: IntervalMap[C] = IntervalMap(C.N)
+
+    def value_at(self, tick: Tick) -> C:
+        return self._map.get(tick)
+
+    def ack_prefix(self) -> Tick:
+        """First tick that is not A; all ticks below it are acknowledged."""
+        first = self._map.first_with(lambda v: v != C.A, 0)
+        if first is not None:
+            return first
+        span = self._map.span()
+        return span.stop if span is not None else 0
+
+    def set_ack(self, rng: TickRange) -> bool:
+        """Mark ``rng`` anti-curious.  Returns True when anything changed."""
+        changed = self._map.first_with(lambda v: v != C.A, rng.start, rng.stop)
+        if changed is None:
+            return False
+        self._map.set_range(rng, C.A)
+        return True
+
+    def set_curious(self, rng: TickRange) -> List[TickRange]:
+        """Mark the not-yet-acknowledged, not-yet-curious parts of ``rng``
+        curious.
+
+        Returns the sub-ranges that actually transitioned (N -> C).  The
+        caller uses a non-empty return to decide whether an upstream nack is
+        needed — this is exactly the paper's nack-consolidation rule: "a
+        nack message is propagated upstream only if some C tick accumulated
+        in istream was not already C".
+        """
+        fresh = self._map.ranges_with(lambda v: v == C.N, rng.start, rng.stop)
+        for piece in fresh:
+            self._map.set_range(piece, C.C)
+        return fresh
+
+    def curious_ranges(self, rng: TickRange) -> List[TickRange]:
+        """Sub-ranges of ``rng`` currently marked C."""
+        return self._map.ranges_with(lambda v: v == C.C, rng.start, rng.stop)
+
+    def acked_ranges(self, rng: TickRange) -> List[TickRange]:
+        """Sub-ranges of ``rng`` currently marked A."""
+        return self._map.ranges_with(lambda v: v == C.A, rng.start, rng.stop)
+
+    def unacked_ranges(self, rng: TickRange) -> List[TickRange]:
+        """Sub-ranges of ``rng`` not marked A (i.e. N or C)."""
+        return self._map.ranges_with(lambda v: v != C.A, rng.start, rng.stop)
+
+    def clear_curious(self, rng: TickRange) -> None:
+        """Lower C ticks in ``rng`` back to N (curiosity serviced; the
+        downstream will re-nack if the answer is lost)."""
+        for piece in self._map.ranges_with(lambda v: v == C.C, rng.start, rng.stop):
+            self._map.set_range(piece, C.N)
+
+    def forget_curiosity(self) -> None:
+        """Lower every C tick back to N (the "fresh nack" rule).
+
+        The broker runs this periodically (every minimum-repetition
+        interval) so that repeated nacks from the same subend are not
+        swallowed by consolidation (paper section 3.1).
+        """
+        span = self._map.span()
+        if span is None:
+            return
+        for rng in self._map.ranges_with(lambda v: v == C.C, span.start, span.stop):
+            self._map.set_range(rng, C.N)
+
+    def forget_all(self) -> None:
+        self._map = IntervalMap(C.N)
+
+    def runs(self) -> Iterator[Tuple[TickRange, C]]:
+        return self._map.runs()
+
+    def run_count(self) -> int:
+        """Stored non-N runs — the stream's actual memory footprint."""
+        return self._map.run_count()
+
+    def check_invariants(self) -> None:
+        self._map.check_invariants()
+
+
+class Stream:
+    """A knowledge stream and a curiosity stream with the F ⇔ A linkage.
+
+    The paper links the two: "a tick whose knowledge state becomes F is
+    assigned a curiosity of A and vice-versa".  All operational stream
+    state in brokers (istreams and ostreams) is a :class:`Stream` so the
+    linkage cannot be forgotten at a call site.
+    """
+
+    __slots__ = ("knowledge", "curiosity")
+
+    def __init__(self) -> None:
+        self.knowledge = KnowledgeStream()
+        self.curiosity = CuriosityStream()
+
+    # -- knowledge entry points (maintain linkage) -----------------------
+
+    def accumulate_data(self, tick: Tick, payload: Any) -> bool:
+        """Accumulate a D tick; returns True when knowledge changed.
+
+        Data arriving for an already-acknowledged tick is finalized
+        immediately (it is not needed), keeping F ⇔ A.
+        """
+        if self.curiosity.value_at(tick) == C.A:
+            self.knowledge.accumulate_final(TickRange.single(tick))
+            return False
+        return self.knowledge.accumulate_data(tick, payload)
+
+    def accumulate_final(self, rng: TickRange) -> bool:
+        """Accumulate F over ``rng``; the range becomes anti-curious too."""
+        changed = self.knowledge.accumulate_final(rng)
+        self.curiosity.set_ack(rng)
+        return changed
+
+    # -- curiosity entry points (maintain linkage) ------------------------
+
+    def set_ack(self, rng: TickRange) -> bool:
+        """Acknowledge ``rng``: curiosity A, knowledge finalized (D -> F,
+        payloads dropped — this is the soft-state garbage collection)."""
+        changed = self.curiosity.set_ack(rng)
+        self.knowledge.finalize(rng)
+        return changed
+
+    def set_curious(self, rng: TickRange) -> List[TickRange]:
+        """Mark ``rng`` curious where possible; ticks already final are
+        auto-acknowledged first so they are never nacked upstream."""
+        final_prefix = self.knowledge.final_prefix()
+        if final_prefix > rng.start:
+            covered = TickRange(rng.start, min(final_prefix, rng.stop))
+            self.curiosity.set_ack(covered)
+            if covered.stop >= rng.stop:
+                return []
+            rng = TickRange(covered.stop, rng.stop)
+        return self.curiosity.set_curious(rng)
+
+    def forget_all(self) -> None:
+        self.knowledge.forget_all()
+        self.curiosity.forget_all()
+
+    def check_invariants(self) -> None:
+        self.knowledge.check_invariants()
+        self.curiosity.check_invariants()

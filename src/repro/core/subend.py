@@ -1,0 +1,545 @@
+"""Subends: sink nodes that deliver messages to subscribing clients.
+
+A subend (paper section 2.3) consumes the knowledge stream of one or more
+pubends and delivers D messages to clients, in *publisher order* (per
+pubend-stream order, streams interleaved arbitrarily) or in *total order*
+(a deterministic merge of the pubend streams, identical for every
+subscriber of the same merge).
+
+The implementation follows the paper's SHB consolidation optimization:
+all subscribers at a broker share the broker's per-pubend istream; each
+subscriber only adds a content filter and membership in a delivery group.
+Delivery is driven by the **doubt horizon** ``t_D`` — the first tick still
+in doubt — so a message is never delivered out of order: D ticks above a
+Q gap wait until the gap resolves to D or F.
+
+Subends also *initiate* the upstream flows: acks for delivered/final
+prefixes, and nacks (curiosity) for gaps, governed by the GCT / NRT / DCT
+parameters of :class:`~repro.core.config.LivenessParams` and answered
+according to the AckExpected probes of pubend-driven liveness.
+
+The class is transport-agnostic: the hosting broker supplies a
+:class:`SubendServices` implementation (clock, timers, upstream sends,
+client delivery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..matching.ast import Predicate as AstPredicate
+from ..matching.tree import MatchingTree
+from .config import LivenessParams
+from .edges import MergeView, Predicate, MATCH_ALL
+from .lattice import K
+from .rto import RtoEstimator
+from .streams import Stream
+from .ticks import Tick, TickRange, subtract_ranges, tick_of_time
+
+__all__ = ["SubendServices", "SubendManager", "Subscription", "Delivery"]
+
+
+class SubendServices:
+    """What a subend needs from its hosting broker.
+
+    Duck-typed; the simulator, the asyncio runtime and the unit tests each
+    provide their own implementation.
+    """
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        raise NotImplementedError
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Any:
+        """Run ``fn`` after ``delay`` seconds; returns a cancellable handle
+        (an object with a ``cancel()`` method)."""
+        raise NotImplementedError
+
+    def send_nack(self, pubend: str, ranges: List[TickRange]) -> None:
+        """Propagate curiosity upstream."""
+        raise NotImplementedError
+
+    def send_ack(self, pubend: str, up_to: Tick) -> None:
+        """Propagate anti-curiosity upstream."""
+        raise NotImplementedError
+
+    def deliver(
+        self, subscriber: str, pubend: str, tick: Tick, payload: Any
+    ) -> None:
+        """Hand one message to a subscribing client."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A client's subscription at this subend."""
+
+    subscriber: str
+    predicate: Predicate = MATCH_ALL
+    pubends: Tuple[str, ...] = ()
+    total_order: bool = False
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One delivered message (returned by test/client hooks)."""
+
+    subscriber: str
+    pubend: str
+    tick: Tick
+    payload: Any
+
+
+@dataclass
+class _NackRecord:
+    """An outstanding nack awaiting satisfaction."""
+
+    ranges: List[TickRange]
+    first_sent: float
+    last_sent: float
+    attempts: int = 1
+    timer: Any = None
+
+    def trim(self, stream: Stream) -> None:
+        """Drop sub-ranges whose knowledge is no longer Q."""
+        live: List[TickRange] = []
+        for rng in self.ranges:
+            live.extend(
+                stream.knowledge.ranges_with(lambda v: v == K.Q, rng.start, rng.stop)
+            )
+        self.ranges = live
+
+    @property
+    def satisfied(self) -> bool:
+        return not self.ranges
+
+
+@dataclass
+class _PendingGap:
+    """A Q-gap waiting out its GCT before being nacked."""
+
+    ranges: List[TickRange]
+    timer: Any = None
+
+
+class _PubendState:
+    """Per-pubend subend state at one SHB (shared by all its subscribers)."""
+
+    def __init__(self, pubend: str, stream: Stream, params: LivenessParams):
+        self.pubend = pubend
+        self.stream = stream
+        self.params = params
+        #: Horizon up to which publisher-order delivery has been performed.
+        self.delivered_horizon: Tick = 0
+        #: Prefix acked upstream.
+        self.acked_up_to: Tick = 0
+        self.estimator = RtoEstimator(
+            min_interval=params.nrt_min, max_interval=params.nrt_max
+        )
+        self.pending_gaps: List[_PendingGap] = []
+        self.outstanding: List[_NackRecord] = []
+        #: Ticks already covered by a pending GCT timer or outstanding
+        #: nack, so gaps are not double-tracked.
+        self.tracked: List[TickRange] = []
+        self.nacks_sent = 0
+        self.nack_ticks_sent = 0
+
+    def untracked(self, ranges: Sequence[TickRange]) -> List[TickRange]:
+        return subtract_ranges(ranges, self.tracked)
+
+    def track(self, ranges: Sequence[TickRange]) -> None:
+        from .ticks import merge_ranges
+
+        self.tracked = merge_ranges(list(self.tracked) + list(ranges))
+
+    def refresh_tracked(self) -> None:
+        """Recompute tracked ticks from live pending gaps and nacks."""
+        from .ticks import merge_ranges
+
+        ranges: List[TickRange] = []
+        for gap in self.pending_gaps:
+            ranges.extend(gap.ranges)
+        for record in self.outstanding:
+            ranges.extend(record.ranges)
+        self.tracked = merge_ranges(ranges)
+
+
+class _TotalOrderGroup:
+    """Subscribers sharing one deterministic merge of pubend streams."""
+
+    def __init__(self, pubends: Tuple[str, ...], view: MergeView):
+        self.pubends = pubends
+        self.view = view
+        self.delivered_horizon: Tick = 0
+        self.subscribers: List[Subscription] = []
+
+
+class SubendManager:
+    """All subend logic of one subscriber-hosting broker.
+
+    The hosting broker owns the per-pubend istreams and calls
+    :meth:`on_knowledge` after accumulating each knowledge message,
+    :meth:`on_ack_expected` for AckExpected probes, and
+    :meth:`on_periodic` from a coarse timer for DCT checks.
+    """
+
+    def __init__(self, services: SubendServices, params: LivenessParams):
+        self.services = services
+        self.params = params
+        self._states: Dict[str, _PubendState] = {}
+        self._subscriptions: Dict[str, Subscription] = {}
+        self._groups: Dict[Tuple[str, ...], _TotalOrderGroup] = {}
+        #: Publisher-order subscriptions indexed by pubend.
+        self._by_pubend: Dict[str, List[Subscription]] = {}
+        #: Content index over AST predicates (paper: the SHB matches each
+        #: event once against the whole subscription set, not once per
+        #: subscriber) — the PODC '99 parallel search tree, Gryphon's own
+        #: matching algorithm; opaque callable predicates are evaluated
+        #: directly.
+        self._matcher = MatchingTree()
+        self._indexed: Set[str] = set()
+        self.delivered_count = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach_stream(self, pubend: str, stream: Stream) -> None:
+        """Register the broker's istream for ``pubend`` with this subend."""
+        if pubend not in self._states:
+            self._states[pubend] = _PubendState(pubend, stream, self.params)
+
+    def has_pubend(self, pubend: str) -> bool:
+        return pubend in self._states
+
+    def pubends(self) -> List[str]:
+        return sorted(self._states)
+
+    def subscribe(self, subscription: Subscription) -> None:
+        """Add a subscription.  All its pubends must be attached first."""
+        for pubend in subscription.pubends:
+            if pubend not in self._states:
+                raise KeyError(f"pubend {pubend!r} not attached")
+        self._subscriptions[subscription.subscriber] = subscription
+        if isinstance(subscription.predicate, AstPredicate):
+            self._matcher.add(subscription.subscriber, subscription.predicate)
+            self._indexed.add(subscription.subscriber)
+        if subscription.total_order:
+            key = tuple(sorted(subscription.pubends))
+            group = self._groups.get(key)
+            if group is None:
+                view = MergeView(
+                    [self._states[p].stream.knowledge for p in key]
+                )
+                group = _TotalOrderGroup(key, view)
+                self._groups[key] = group
+            group.subscribers.append(subscription)
+        else:
+            for pubend in subscription.pubends:
+                self._by_pubend.setdefault(pubend, []).append(subscription)
+
+    def unsubscribe(self, subscriber: str) -> None:
+        subscription = self._subscriptions.pop(subscriber, None)
+        if subscription is None:
+            return
+        if subscriber in self._indexed:
+            self._matcher.remove(subscriber)
+            self._indexed.discard(subscriber)
+        if subscription.total_order:
+            key = tuple(sorted(subscription.pubends))
+            group = self._groups.get(key)
+            if group is not None:
+                group.subscribers = [
+                    s for s in group.subscribers if s.subscriber != subscriber
+                ]
+                if not group.subscribers:
+                    del self._groups[key]
+        else:
+            for pubend in subscription.pubends:
+                subs = self._by_pubend.get(pubend, [])
+                self._by_pubend[pubend] = [
+                    s for s in subs if s.subscriber != subscriber
+                ]
+
+    # ------------------------------------------------------------------
+    # Knowledge arrival: delivery, acks, gap detection
+    # ------------------------------------------------------------------
+
+    def on_knowledge(self, pubend: str) -> None:
+        """React to new knowledge accumulated into ``pubend``'s istream."""
+        state = self._states.get(pubend)
+        if state is None:
+            return
+        self._settle_curiosity(state)
+        self._deliver_publisher_order(state)
+        self._deliver_total_order(pubend)
+        # A total-order group's horizon may have advanced, unblocking acks
+        # for *other* member pubends, so re-evaluate every state.
+        for other in self._states.values():
+            self._maybe_ack(other)
+        self._watch_gaps(state)
+
+    def _matching_subs(
+        self, candidates: Sequence[Subscription], payload: Any
+    ) -> List[Subscription]:
+        """Subscriptions among ``candidates`` matching ``payload``.
+
+        Indexed (AST) predicates are answered by one matcher pass per
+        event; opaque callables are evaluated individually.
+        """
+        if not candidates:
+            return []
+        matched_ids: Optional[Set[str]] = None
+        if isinstance(payload, Mapping):
+            matched_ids = self._matcher.match(payload)
+        out: List[Subscription] = []
+        for subscription in candidates:
+            if subscription.subscriber in self._indexed:
+                if matched_ids is not None and subscription.subscriber in matched_ids:
+                    out.append(subscription)
+            elif subscription.predicate(payload):
+                out.append(subscription)
+        return out
+
+    def _deliver_publisher_order(self, state: _PubendState) -> None:
+        horizon = state.stream.knowledge.doubt_horizon()
+        if horizon <= state.delivered_horizon:
+            return
+        subs = self._by_pubend.get(state.pubend, ())
+        if subs:
+            window = TickRange(state.delivered_horizon, horizon)
+            for tick, payload in state.stream.knowledge.d_ticks(window):
+                for subscription in self._matching_subs(subs, payload):
+                    self.services.deliver(
+                        subscription.subscriber, state.pubend, tick, payload
+                    )
+                    self.delivered_count += 1
+        state.delivered_horizon = horizon
+
+    def _deliver_total_order(self, pubend: str) -> None:
+        for group in self._groups.values():
+            if pubend not in group.pubends:
+                continue
+            horizon = group.view.doubt_horizon()
+            if horizon <= group.delivered_horizon:
+                continue
+            pairs = group.view.d_ticks_below(horizon, group.delivered_horizon)
+            for tick, payload in pairs:
+                source = self._pubend_of_tick(group, tick)
+                for subscription in self._matching_subs(group.subscribers, payload):
+                    self.services.deliver(
+                        subscription.subscriber, source, tick, payload
+                    )
+                    self.delivered_count += 1
+            group.delivered_horizon = horizon
+
+    def _pubend_of_tick(self, group: _TotalOrderGroup, tick: Tick) -> str:
+        for pubend in group.pubends:
+            if self._states[pubend].stream.knowledge.value_at(tick) == K.D:
+                return pubend
+        return group.pubends[0]
+
+    def _consumption_horizon(self, state: _PubendState) -> Tick:
+        """How far every local consumer of this pubend has consumed.
+
+        Publisher-order consumers consume up to the istream doubt horizon;
+        total-order groups only up to the *merged* horizon (which may lag,
+        since a merge waits for all inputs).  The ack — and the garbage
+        collection it allows — must not outrun the slowest consumer.
+        """
+        horizon = state.delivered_horizon
+        for group in self._groups.values():
+            if state.pubend in group.pubends:
+                horizon = min(horizon, group.delivered_horizon)
+        return horizon
+
+    def _maybe_ack(self, state: _PubendState) -> None:
+        horizon = self._consumption_horizon(state)
+        if horizon > state.acked_up_to:
+            state.acked_up_to = horizon
+            # Acking finalizes the prefix locally (D -> F, payloads GC'd):
+            # the F <-> A linkage of Stream.set_ack.
+            state.stream.set_ack(TickRange(0, horizon))
+            self.services.send_ack(state.pubend, horizon)
+
+    # ------------------------------------------------------------------
+    # Curiosity: GCT gaps, NRT repetition, DCT, AckExpected
+    # ------------------------------------------------------------------
+
+    def _settle_curiosity(self, state: _PubendState) -> None:
+        """Trim satisfied ticks from tracked gaps and outstanding nacks."""
+        now = self.services.now()
+        for record in state.outstanding:
+            record.trim(state.stream)
+            if record.satisfied:
+                if record.timer is not None:
+                    record.timer.cancel()
+                if record.attempts == 1:
+                    # Karn's rule: only unambiguous (non-retransmitted)
+                    # exchanges produce RTT samples.
+                    state.estimator.sample(max(now - record.last_sent, 0.0))
+        state.outstanding = [r for r in state.outstanding if not r.satisfied]
+        for gap in state.pending_gaps:
+            live: List[TickRange] = []
+            for rng in gap.ranges:
+                live.extend(
+                    state.stream.knowledge.ranges_with(
+                        lambda v: v == K.Q, rng.start, rng.stop
+                    )
+                )
+            gap.ranges = live
+            if not gap.ranges and gap.timer is not None:
+                gap.timer.cancel()
+        state.pending_gaps = [g for g in state.pending_gaps if g.ranges]
+        state.refresh_tracked()
+
+    def _watch_gaps(self, state: _PubendState) -> None:
+        if self.params.gct == float("inf"):
+            return  # subend-driven gap curiosity disabled (ablation)
+        gaps = state.stream.knowledge.gaps()
+        fresh = state.untracked(gaps)
+        if not fresh:
+            return
+        pending = _PendingGap(ranges=fresh)
+        pending.timer = self.services.schedule(
+            self.params.gct, lambda: self._gct_expired(state, pending)
+        )
+        state.pending_gaps.append(pending)
+        state.track(fresh)
+
+    def _gct_expired(self, state: _PubendState, pending: _PendingGap) -> None:
+        if pending in state.pending_gaps:
+            state.pending_gaps.remove(pending)
+        still_q: List[TickRange] = []
+        for rng in pending.ranges:
+            still_q.extend(
+                state.stream.knowledge.ranges_with(
+                    lambda v: v == K.Q, rng.start, rng.stop
+                )
+            )
+        state.refresh_tracked()
+        if still_q:
+            self._send_nacks(state, still_q)
+
+    def _send_nacks(self, state: _PubendState, ranges: List[TickRange]) -> None:
+        """Nack the given Q ranges, chopped, and arm NRT repetition."""
+        chopped: List[TickRange] = []
+        for rng in ranges:
+            chopped.extend(rng.split(self.params.nack_chop))
+        now = self.services.now()
+        for piece in chopped:
+            self.services.send_nack(state.pubend, [piece])
+            state.nacks_sent += 1
+            state.nack_ticks_sent += len(piece)
+            record = _NackRecord(ranges=[piece], first_sent=now, last_sent=now)
+            record.timer = self.services.schedule(
+                state.estimator.interval(),
+                lambda record=record: self._nrt_expired(state, record),
+            )
+            state.outstanding.append(record)
+        state.refresh_tracked()
+
+    def _repetition_interval(self, state: _PubendState, record: _NackRecord) -> float:
+        """Exponential backoff *per outstanding nack*, on top of the
+        shared RTT estimate (a shared-backoff estimator would let many
+        concurrent unsatisfied nacks multiply each other's delays)."""
+        base = state.estimator.interval()
+        backoff = 2.0 ** min(record.attempts - 1, 6)
+        return min(base * backoff, self.params.nrt_max)
+
+    def _nrt_expired(self, state: _PubendState, record: _NackRecord) -> None:
+        record.trim(state.stream)
+        if record.satisfied:
+            if record in state.outstanding:
+                state.outstanding.remove(record)
+            state.refresh_tracked()
+            return
+        now = self.services.now()
+        for rng in record.ranges:
+            self.services.send_nack(state.pubend, [rng])
+            state.nacks_sent += 1
+            state.nack_ticks_sent += len(rng)
+        record.attempts += 1
+        record.last_sent = now
+        record.timer = self.services.schedule(
+            self._repetition_interval(state, record),
+            lambda: self._nrt_expired(state, record),
+        )
+
+    def on_ack_expected(self, pubend: str, up_to: Tick) -> None:
+        """AckExpected probe: *immediately* nack all Q ticks below
+        ``up_to`` (paper section 3.2), bypassing both the GCT and any
+        outstanding nack's exponential backoff.
+
+        The override matters: backoff exists "to handle pubends that are
+        down", but a probe is positive proof the pubend is alive — an
+        old gap whose repetitions have backed off to tens of seconds
+        must be retried now, or an unlucky streak of lost nacks and
+        retransmissions stalls the stream far beyond the probe period.
+        """
+        state = self._states.get(pubend)
+        if state is None:
+            return
+        if up_to <= 0:
+            return
+        q_ranges = state.stream.knowledge.ranges_with(
+            lambda v: v == K.Q, state.acked_up_to, up_to
+        )
+        if not q_ranges:
+            return
+        # Cancel outstanding records overlapping the probed gaps; they are
+        # re-issued below with a fresh (un-backed-off) repetition cycle.
+        overlapping = [
+            record
+            for record in state.outstanding
+            if any(a.overlaps(b) for a in record.ranges for b in q_ranges)
+        ]
+        for record in overlapping:
+            if record.timer is not None:
+                record.timer.cancel()
+            state.outstanding.remove(record)
+        state.refresh_tracked()
+        fresh = state.untracked(q_ranges)
+        if fresh:
+            self._send_nacks(state, fresh)
+
+    def on_periodic(self) -> None:
+        """Time-driven checks (DCT); call every ``subend_check_interval``."""
+        if self.params.dct == float("inf"):
+            return
+        now_tick = tick_of_time(self.services.now())
+        dct_ticks = tick_of_time(self.params.dct)
+        for state in self._states.values():
+            horizon = state.stream.knowledge.doubt_horizon()
+            lag_limit = now_tick - dct_ticks
+            if horizon < lag_limit:
+                rng = TickRange(horizon, lag_limit)
+                fresh = state.untracked([rng])
+                if fresh:
+                    self._send_nacks(state, fresh)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def state_of(self, pubend: str) -> _PubendState:
+        return self._states[pubend]
+
+    def subscriptions_for(self, pubend: str) -> List[Subscription]:
+        """Every local subscription (publisher- or total-order) that
+        consumes this pubend — the input to subscription summaries."""
+        out = list(self._by_pubend.get(pubend, ()))
+        for group in self._groups.values():
+            if pubend in group.pubends:
+                out.extend(group.subscribers)
+        return out
+
+    def ack_horizon(self, pubend: str) -> Tick:
+        return self._states[pubend].acked_up_to
+
+    def total_nacks_sent(self) -> int:
+        return sum(s.nacks_sent for s in self._states.values())
+
+    def total_nack_ticks_sent(self) -> int:
+        return sum(s.nack_ticks_sent for s in self._states.values())

@@ -1,0 +1,4 @@
+"""Reusable drivers for the paper's experiments (Figures 4-8)."""
+
+from .fig45 import OverheadPoint, gd_minus_be, run_overhead_point, run_overhead_sweep
+from .fig678 import FAULTS, FaultResult, run_fault_experiment

@@ -1,0 +1,3 @@
+"""Fault injection: crashes, link failures, and the paper's stall-then-fail."""
+
+from .injector import FaultInjector

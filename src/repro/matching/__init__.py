@@ -1,0 +1,21 @@
+"""Content-based subscription language and matching engines."""
+
+from .ast import (
+    And,
+    Comparison,
+    Exists,
+    FalseP,
+    Not,
+    Or,
+    Predicate,
+    TrueP,
+    conjoin,
+    disjoin,
+    predicate_from_wire,
+    predicate_to_wire,
+)
+from .covering import covers, summarize_subscriptions
+from .engine import BruteForceMatcher, IndexedMatcher, Matcher
+from .tree import MatchingTree
+from .events import Event
+from .parser import ParseError, parse

@@ -1,0 +1,318 @@
+"""Predicate AST for content-based subscriptions.
+
+A subscription is a boolean predicate over event attributes, e.g.
+``Loc = 'NY' and p > 3`` (the example of Figure 1 in the paper).  The AST
+supports comparisons on scalar attributes, presence tests, and the
+boolean connectives; it evaluates against :class:`~repro.matching.events.Event`
+(or any mapping), treating comparisons on missing or type-incompatible
+attributes as false (three-valued logic collapsed to false, the common
+choice in content-based systems).
+
+Nodes are immutable, hashable values; they normalize to strings that
+parse back to an equal AST (round-trip tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Mapping, Tuple, Union
+
+__all__ = [
+    "Predicate",
+    "Comparison",
+    "Exists",
+    "And",
+    "Or",
+    "Not",
+    "TrueP",
+    "FalseP",
+    "COMPARATORS",
+    "conjoin",
+    "disjoin",
+    "predicate_to_wire",
+    "predicate_from_wire",
+]
+
+_Scalar = Union[int, float, str, bool]
+
+COMPARATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def _compatible(a: Any, b: Any) -> bool:
+    """Whether two scalar values may be ordered/compared.
+
+    Numbers compare with numbers (bool excluded: ``flag = true`` should
+    not match ``flag = 1`` semantics surprises); strings with strings;
+    bools with bools.
+    """
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return True
+    return isinstance(a, str) and isinstance(b, str)
+
+
+class Predicate:
+    """Base class of predicate AST nodes."""
+
+    __slots__ = ()
+
+    def evaluate(self, event: Mapping[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, event: Any) -> bool:
+        """Predicates are callables, usable directly as filter-edge
+        predicates; non-mapping payloads never match."""
+        from .events import Event
+
+        if isinstance(event, Mapping):
+            return self.evaluate(event)
+        coerced = Event.coerce(event)
+        if coerced is None:
+            return False
+        return self.evaluate(coerced)
+
+    def attributes(self) -> FrozenSet[str]:
+        """All attribute names mentioned by the predicate."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TrueP(Predicate):
+    """The always-true predicate (subscribe to everything)."""
+
+    def evaluate(self, event: Mapping[str, Any]) -> bool:
+        return True
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseP(Predicate):
+    """The always-false predicate."""
+
+    def evaluate(self, event: Mapping[str, Any]) -> bool:
+        return False
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``attr OP constant`` — the elementary content test."""
+
+    attr: str
+    op: str
+    value: _Scalar
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARATORS:
+            raise ValueError(f"unknown comparator {self.op!r}")
+
+    def evaluate(self, event: Mapping[str, Any]) -> bool:
+        actual = event.get(self.attr)
+        if actual is None or not _compatible(actual, self.value):
+            return False
+        if self.op == "=":
+            return actual == self.value
+        if self.op == "!=":
+            return actual != self.value
+        if self.op == "<":
+            return actual < self.value
+        if self.op == "<=":
+            return actual <= self.value
+        if self.op == ">":
+            return actual > self.value
+        return actual >= self.value
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.attr})
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"{self.attr} {self.op} '{escaped}'"
+        if isinstance(self.value, bool):
+            return f"{self.attr} {self.op} {'true' if self.value else 'false'}"
+        return f"{self.attr} {self.op} {self.value}"
+
+
+@dataclass(frozen=True)
+class Exists(Predicate):
+    """``exists attr`` — true when the event carries the attribute."""
+
+    attr: str
+
+    def evaluate(self, event: Mapping[str, Any]) -> bool:
+        return self.attr in event
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.attr})
+
+    def __str__(self) -> str:
+        return f"exists {self.attr}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of two or more predicates."""
+
+    terms: Tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.terms) < 2:
+            raise ValueError("And requires at least two terms")
+
+    def evaluate(self, event: Mapping[str, Any]) -> bool:
+        return all(term.evaluate(event) for term in self.terms)
+
+    def attributes(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for term in self.terms:
+            out |= term.attributes()
+        return out
+
+    def __str__(self) -> str:
+        return " and ".join(
+            f"({t})" if isinstance(t, Or) else str(t) for t in self.terms
+        )
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of two or more predicates."""
+
+    terms: Tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.terms) < 2:
+            raise ValueError("Or requires at least two terms")
+
+    def evaluate(self, event: Mapping[str, Any]) -> bool:
+        return any(term.evaluate(event) for term in self.terms)
+
+    def attributes(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for term in self.terms:
+            out |= term.attributes()
+        return out
+
+    def __str__(self) -> str:
+        return " or ".join(str(t) for t in self.terms)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation."""
+
+    term: Predicate
+
+    def evaluate(self, event: Mapping[str, Any]) -> bool:
+        return not self.term.evaluate(event)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.term.attributes()
+
+    def __str__(self) -> str:
+        if isinstance(self.term, (And, Or)):
+            return f"not ({self.term})"
+        return f"not {self.term}"
+
+
+def predicate_to_wire(predicate: Predicate) -> Any:
+    """JSON-compatible encoding of a predicate AST.
+
+    Used by subscription propagation: subscriber-hosting brokers ship
+    their subscription summaries upstream so intermediate edge filters
+    can prune traffic.
+    """
+    if isinstance(predicate, TrueP):
+        return ["true"]
+    if isinstance(predicate, FalseP):
+        return ["false"]
+    if isinstance(predicate, Comparison):
+        return ["cmp", predicate.attr, predicate.op, predicate.value]
+    if isinstance(predicate, Exists):
+        return ["exists", predicate.attr]
+    if isinstance(predicate, And):
+        return ["and"] + [predicate_to_wire(t) for t in predicate.terms]
+    if isinstance(predicate, Or):
+        return ["or"] + [predicate_to_wire(t) for t in predicate.terms]
+    if isinstance(predicate, Not):
+        return ["not", predicate_to_wire(predicate.term)]
+    raise TypeError(f"cannot encode predicate {type(predicate).__name__}")
+
+
+def predicate_from_wire(obj: Any) -> Predicate:
+    """Decode :func:`predicate_to_wire` output."""
+    tag = obj[0]
+    if tag == "true":
+        return TrueP()
+    if tag == "false":
+        return FalseP()
+    if tag == "cmp":
+        return Comparison(obj[1], obj[2], obj[3])
+    if tag == "exists":
+        return Exists(obj[1])
+    if tag == "and":
+        return And(tuple(predicate_from_wire(t) for t in obj[1:]))
+    if tag == "or":
+        return Or(tuple(predicate_from_wire(t) for t in obj[1:]))
+    if tag == "not":
+        return Not(predicate_from_wire(obj[1]))
+    raise ValueError(f"unknown predicate tag {tag!r}")
+
+
+def conjoin(*predicates: Predicate) -> Predicate:
+    """The conjunction of the given predicates, flattened and simplified.
+
+    This implements the paper's path-predicate composition: the predicate
+    of a path is "the AND of the filter predicates along the path"
+    (service specification, section 2.3).
+    """
+    flat = []
+    for predicate in predicates:
+        if isinstance(predicate, TrueP):
+            continue
+        if isinstance(predicate, FalseP):
+            return FalseP()
+        if isinstance(predicate, And):
+            flat.extend(predicate.terms)
+        else:
+            flat.append(predicate)
+    if not flat:
+        return TrueP()
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disjoin(*predicates: Predicate) -> Predicate:
+    """The disjunction of the given predicates, flattened and simplified.
+
+    This is the subscription as seen by a subscriber reached over several
+    paths: "the OR of each path predicate" (section 2.3).
+    """
+    flat = []
+    for predicate in predicates:
+        if isinstance(predicate, FalseP):
+            continue
+        if isinstance(predicate, TrueP):
+            return TrueP()
+        if isinstance(predicate, Or):
+            flat.extend(predicate.terms)
+        else:
+            flat.append(predicate)
+    if not flat:
+        return FalseP()
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))

@@ -1,0 +1,231 @@
+"""Predicate covering and subscription summarization.
+
+Content-based routing prunes traffic by installing, on each tree edge,
+a filter equivalent to the *union of all subscriptions downstream* of the
+edge.  Shipping every individual subscription upstream does not scale, so
+brokers summarize: drop subscriptions *covered* by broader ones and cap
+the summary size (falling back to match-everything when the union is too
+complex to be worth evaluating per message).
+
+``covers(general, specific)`` is a sound, incomplete implication check:
+``True`` guarantees every event matching ``specific`` matches ``general``
+(so ``specific`` is redundant in a union containing ``general``);
+``False`` means "could not prove it".  Soundness is what routing
+correctness needs — an unproven covering only costs summary size, never a
+lost message.  The check is complete for flat conjunctions of attribute
+comparisons, the shape real subscription populations are dominated by.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .ast import (
+    And,
+    Comparison,
+    Exists,
+    FalseP,
+    Or,
+    Predicate,
+    TrueP,
+    disjoin,
+)
+from .engine import _flatten_conjunction
+
+__all__ = ["covers", "summarize_subscriptions", "SUMMARY_MAX_TERMS"]
+
+#: Above this many union terms a summary collapses to match-everything:
+#: evaluating a huge disjunction per message costs more than the traffic
+#: it would prune.
+SUMMARY_MAX_TERMS = 32
+
+
+def _numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class _Constraint:
+    """Accumulated constraints of one attribute in a conjunction."""
+
+    __slots__ = ("eq", "ne", "lower", "lower_strict", "upper", "upper_strict", "present")
+
+    def __init__(self) -> None:
+        self.eq: Optional[Any] = None
+        self.ne: List[Any] = []
+        self.lower: Optional[Any] = None  # value > / >= lower
+        self.lower_strict = False
+        self.upper: Optional[Any] = None  # value < / <= upper
+        self.upper_strict = False
+        self.present = False  # some term forces the attribute to exist
+
+    def absorb(self, term: Predicate) -> bool:
+        """Fold one elementary term in; False when the shape is unsupported."""
+        if isinstance(term, Exists):
+            self.present = True
+            return True
+        if not isinstance(term, Comparison):
+            return False
+        if term.op != "!=":
+            self.present = True  # a satisfied comparison implies presence
+        if term.op == "=":
+            if self.eq is not None and self.eq != term.value:
+                return True  # unsatisfiable; covered by anything
+            self.eq = term.value
+        elif term.op == "!=":
+            self.present = True
+            self.ne.append(term.value)
+        elif term.op in (">", ">="):
+            strict = term.op == ">"
+            if self.lower is None or _tighter_lower(term.value, strict, self.lower, self.lower_strict):
+                self.lower, self.lower_strict = term.value, strict
+        else:  # < or <=
+            strict = term.op == "<"
+            if self.upper is None or _tighter_upper(term.value, strict, self.upper, self.upper_strict):
+                self.upper, self.upper_strict = term.value, strict
+        return True
+
+
+def _tighter_lower(v1: Any, s1: bool, v2: Any, s2: bool) -> bool:
+    """Is bound (v1, s1) at least as tight a lower bound as (v2, s2)?"""
+    try:
+        if v1 > v2:
+            return True
+        if v1 == v2:
+            return s1 or not s2
+    except TypeError:
+        return False
+    return False
+
+
+def _tighter_upper(v1: Any, s1: bool, v2: Any, s2: bool) -> bool:
+    try:
+        if v1 < v2:
+            return True
+        if v1 == v2:
+            return s1 or not s2
+    except TypeError:
+        return False
+    return False
+
+
+def _constraints_of(predicate: Predicate) -> Optional[Dict[str, _Constraint]]:
+    terms = _flatten_conjunction(predicate)
+    if terms is None:
+        return None
+    table: Dict[str, _Constraint] = {}
+    for term in terms:
+        attr = next(iter(term.attributes()))
+        constraint = table.setdefault(attr, _Constraint())
+        if not constraint.absorb(term):
+            return None
+    return table
+
+
+def _term_implied(term: Predicate, constraints: Dict[str, _Constraint]) -> bool:
+    """Does satisfying ``constraints`` guarantee ``term``?"""
+    attr = next(iter(term.attributes()))
+    c = constraints.get(attr)
+    if c is None:
+        return False  # specific does not constrain the attribute at all
+    if isinstance(term, Exists):
+        return c.present
+    assert isinstance(term, Comparison)
+    if term.op == "=":
+        return c.eq is not None and c.eq == term.value and type(c.eq) is type(term.value)
+    if term.op == "!=":
+        if any(v == term.value for v in c.ne):
+            return True
+        if c.eq is not None and _comparable(c.eq, term.value) and c.eq != term.value:
+            return True
+        # A range strictly excluding the value also implies !=.
+        if _numeric(term.value):
+            if c.lower is not None and _numeric(c.lower):
+                if c.lower > term.value or (c.lower == term.value and c.lower_strict):
+                    return True
+            if c.upper is not None and _numeric(c.upper):
+                if c.upper < term.value or (c.upper == term.value and c.upper_strict):
+                    return True
+        return False
+    if term.op in (">", ">="):
+        strict = term.op == ">"
+        if c.eq is not None:
+            return _satisfies_lower(c.eq, term.value, strict)
+        if c.lower is not None:
+            return _tighter_lower(c.lower, c.lower_strict, term.value, strict)
+        return False
+    # < or <=
+    strict = term.op == "<"
+    if c.eq is not None:
+        return _satisfies_upper(c.eq, term.value, strict)
+    if c.upper is not None:
+        return _tighter_upper(c.upper, c.upper_strict, term.value, strict)
+    return False
+
+
+def _satisfies_lower(value: Any, bound: Any, strict: bool) -> bool:
+    if not _comparable(value, bound):
+        return False
+    return value > bound or (not strict and value == bound)
+
+
+def _satisfies_upper(value: Any, bound: Any, strict: bool) -> bool:
+    if not _comparable(value, bound):
+        return False
+    return value < bound or (not strict and value == bound)
+
+
+def _comparable(a: Any, b: Any) -> bool:
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool)
+    if _numeric(a) and _numeric(b):
+        return True
+    return isinstance(a, str) and isinstance(b, str)
+
+
+def covers(general: Predicate, specific: Predicate) -> bool:
+    """Sound implication check: every event matching ``specific`` matches
+    ``general``.  ``False`` means "not proven", not "disproven"."""
+    if isinstance(general, TrueP) or isinstance(specific, FalseP):
+        return True
+    if isinstance(general, Or):
+        return any(covers(term, specific) for term in general.terms)
+    if isinstance(specific, Or):
+        return all(covers(general, term) for term in specific.terms)
+    general_terms = _flatten_conjunction(general)
+    constraints = _constraints_of(specific)
+    if general_terms is None or constraints is None:
+        return _syntactically_equal(general, specific)
+    return all(_term_implied(term, constraints) for term in general_terms)
+
+
+def _syntactically_equal(a: Predicate, b: Predicate) -> bool:
+    return a == b
+
+
+def summarize_subscriptions(
+    predicates: Sequence[Predicate], max_terms: int = SUMMARY_MAX_TERMS
+) -> Predicate:
+    """The union of the given subscriptions, with covered members dropped.
+
+    Returns ``TrueP`` when the population is empty of structure (anything
+    covered everything), ``FalseP`` when there are no subscriptions, and a
+    match-everything fallback when the reduced union still exceeds
+    ``max_terms`` (a summary must stay cheap to evaluate and to ship).
+    """
+    survivors: List[Predicate] = []
+    for predicate in predicates:
+        if isinstance(predicate, FalseP):
+            continue
+        if any(covers(kept, predicate) for kept in survivors):
+            continue
+        survivors = [
+            kept for kept in survivors if not covers(predicate, kept)
+        ]
+        survivors.append(predicate)
+        if isinstance(predicate, TrueP):
+            return TrueP()
+    if not survivors:
+        return FalseP()
+    if len(survivors) > max_terms:
+        return TrueP()
+    return disjoin(*survivors)

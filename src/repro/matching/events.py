@@ -1,0 +1,125 @@
+"""Event (published message content) model.
+
+Gryphon is *content-based*: subscriptions are predicates over the
+attributes of published events rather than topic names (though a topic
+can simply be an attribute).  An :class:`Event` is an immutable set of
+named attributes with scalar values (numbers, strings, booleans), plus an
+optional opaque body.
+
+Events serialize to plain dicts so they can ride inside
+:class:`~repro.core.messages.DataTick` payloads across any transport.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
+
+__all__ = ["Event", "AttributeValue"]
+
+#: Scalar attribute value types supported by the subscription language.
+AttributeValue = Union[int, float, str, bool]
+
+_ALLOWED_TYPES = (int, float, str, bool)
+
+
+class Event(Mapping[str, AttributeValue]):
+    """An immutable published message: named attributes plus a body.
+
+    Behaves as a read-only mapping of its attributes::
+
+        >>> e = Event({"topic": "trades", "sym": "IBM", "price": 104.5})
+        >>> e["sym"]
+        'IBM'
+        >>> "volume" in e
+        False
+    """
+
+    __slots__ = ("_attributes", "_body", "_hash")
+
+    def __init__(
+        self,
+        attributes: Mapping[str, AttributeValue],
+        body: Optional[str] = None,
+    ):
+        for name, value in attributes.items():
+            if not isinstance(name, str):
+                raise TypeError(f"attribute name must be str, got {name!r}")
+            if not isinstance(value, _ALLOWED_TYPES):
+                raise TypeError(
+                    f"attribute {name!r} has unsupported type {type(value).__name__}"
+                )
+        self._attributes: Dict[str, AttributeValue] = dict(attributes)
+        self._body = body
+        self._hash: Optional[int] = None
+
+    # -- Mapping interface ------------------------------------------------
+
+    def __getitem__(self, name: str) -> AttributeValue:
+        return self._attributes[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    # -- identity ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._attributes == other._attributes and self._body == other._body
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (tuple(sorted(self._attributes.items())), self._body)
+            )
+        return self._hash
+
+    @property
+    def body(self) -> Optional[str]:
+        return self._body
+
+    def get_attr(self, name: str) -> Optional[AttributeValue]:
+        """The attribute value, or ``None`` when absent."""
+        return self._attributes.get(name)
+
+    # -- wire format --------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire: Dict[str, Any] = {"a": dict(self._attributes)}
+        if self._body is not None:
+            wire["b"] = self._body
+        return wire
+
+    @classmethod
+    def from_wire(cls, obj: Any) -> "Event":
+        """Decode an event from its wire dict.
+
+        Payloads that are not wire-format events (plain test payloads)
+        raise ``TypeError``/``KeyError``; use :meth:`coerce` for a lenient
+        version.
+        """
+        return cls(obj["a"], obj.get("b"))
+
+    @classmethod
+    def coerce(cls, payload: Any) -> Optional["Event"]:
+        """Best-effort conversion of an arbitrary payload to an event."""
+        if isinstance(payload, Event):
+            return payload
+        if isinstance(payload, dict):
+            if "a" in payload and isinstance(payload["a"], dict):
+                try:
+                    return cls.from_wire(payload)
+                except (TypeError, KeyError):
+                    pass
+            try:
+                return cls(payload)
+            except TypeError:
+                return None
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        attrs = ", ".join(f"{k}={v!r}" for k, v in sorted(self._attributes.items()))
+        return f"Event({attrs})"

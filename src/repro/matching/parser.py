@@ -1,0 +1,212 @@
+"""Parser for the subscription predicate language.
+
+Grammar (precedence low to high: ``or`` < ``and`` < ``not``)::
+
+    expr     := term ('or' term)*
+    term     := factor ('and' factor)*
+    factor   := 'not' factor | '(' expr ')' | atom
+    atom     := 'true' | 'false'
+              | 'exists' IDENT
+              | IDENT OP literal
+    OP       := '=' | '!=' | '<' | '<=' | '>' | '>='
+    literal  := NUMBER | STRING | 'true' | 'false'
+
+Identifiers are ``[A-Za-z_][A-Za-z0-9_.]*``; strings are single-quoted
+with ``''`` escaping a quote; numbers are ints or floats.  Keywords are
+case-insensitive; attribute names are case-sensitive.
+
+Example::
+
+    >>> parse("Loc = 'NY' and p > 3")
+    And(terms=(Comparison(attr='Loc', op='=', value='NY'),
+               Comparison(attr='p', op='>', value=3)))
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Union
+
+from .ast import (
+    And,
+    Comparison,
+    Exists,
+    FalseP,
+    Not,
+    Or,
+    Predicate,
+    TrueP,
+)
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(ValueError):
+    """A syntax error in a subscription string, with position info."""
+
+    def __init__(self, message: str, position: int, text: str):
+        super().__init__(f"{message} at position {position}: {text!r}")
+        self.position = position
+        self.text = text
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: Union[str, int, float, bool]
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<float>-?\d+\.\d+(?:[eE][-+]?\d+)?|-?\d+[eE][-+]?\d+)
+  | (?P<int>-?\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "true", "false", "exists"}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character", position, text)
+        kind = match.lastgroup
+        raw = match.group()
+        if kind == "ws":
+            pass
+        elif kind == "float":
+            tokens.append(_Token("literal", float(raw), position))
+        elif kind == "int":
+            tokens.append(_Token("literal", int(raw), position))
+        elif kind == "string":
+            tokens.append(_Token("literal", raw[1:-1].replace("''", "'"), position))
+        elif kind == "ident":
+            lowered = raw.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(_Token(lowered, lowered, position))
+            else:
+                tokens.append(_Token("ident", raw, position))
+        else:
+            tokens.append(_Token(kind, raw, position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        if self.current.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {self.current.kind}",
+                self.current.position,
+                self.text,
+            )
+        return self.advance()
+
+    def parse(self) -> Predicate:
+        result = self.expr()
+        if self.current.kind != "eof":
+            raise ParseError(
+                f"trailing input ({self.current.kind})",
+                self.current.position,
+                self.text,
+            )
+        return result
+
+    def expr(self) -> Predicate:
+        terms = [self.term()]
+        while self.current.kind == "or":
+            self.advance()
+            terms.append(self.term())
+        if len(terms) == 1:
+            return terms[0]
+        return Or(tuple(terms))
+
+    def term(self) -> Predicate:
+        factors = [self.factor()]
+        while self.current.kind == "and":
+            self.advance()
+            factors.append(self.factor())
+        if len(factors) == 1:
+            return factors[0]
+        return And(tuple(factors))
+
+    def factor(self) -> Predicate:
+        token = self.current
+        if token.kind == "not":
+            self.advance()
+            return Not(self.factor())
+        if token.kind == "lparen":
+            self.advance()
+            inner = self.expr()
+            self.expect("rparen")
+            return inner
+        return self.atom()
+
+    def atom(self) -> Predicate:
+        token = self.current
+        if token.kind == "true":
+            self.advance()
+            return TrueP()
+        if token.kind == "false":
+            self.advance()
+            return FalseP()
+        if token.kind == "exists":
+            self.advance()
+            ident = self.expect("ident")
+            return Exists(str(ident.value))
+        if token.kind == "ident":
+            self.advance()
+            op = self.expect("op")
+            literal = self.literal()
+            return Comparison(str(token.value), str(op.value), literal)
+        raise ParseError(
+            f"expected predicate, found {token.kind}", token.position, self.text
+        )
+
+    def literal(self) -> Union[int, float, str, bool]:
+        token = self.current
+        if token.kind == "literal":
+            self.advance()
+            return token.value
+        if token.kind in ("true", "false"):
+            self.advance()
+            return token.kind == "true"
+        raise ParseError(
+            f"expected literal, found {token.kind}", token.position, self.text
+        )
+
+
+def parse(text: str) -> Predicate:
+    """Parse a subscription string into a :class:`Predicate`.
+
+    Raises :class:`ParseError` with position information on bad input.
+    """
+    stripped = text.strip()
+    if not stripped:
+        return TrueP()
+    return _Parser(stripped).parse()

@@ -1,0 +1,12 @@
+"""Latency/nack measurement and the work-unit CPU model."""
+
+from .cpu import CostModel, CpuAccountant
+from .recorder import (
+    LatencyRecorder,
+    MetricsHub,
+    NackRecorder,
+    Sample,
+    Series,
+    median,
+    percentile,
+)

@@ -1,0 +1,3 @@
+"""The abstract knowledge-graph model of paper section 2, executable."""
+
+from .graph import KnowledgeGraph, ModelNode, Transfer

@@ -1,0 +1,395 @@
+"""The abstract knowledge-graph model of paper section 2 — executable.
+
+The paper's first contribution is a *knowledge graph*: a directed acyclic
+hypergraph whose nodes hold per-tick knowledge (the full lattice
+Q / S / D / D* / F, *without* the operational S,D* -> F lowering used by
+the deployed protocol) and per-tick curiosity (C / N / A), with *filter*
+and *merge* hyperedges propagating knowledge downstream and curiosity
+upstream, under lossy, reordering channels and soft-state forgetting.
+
+This module implements that model literally, as an explorable transition
+system:
+
+* :meth:`KnowledgeGraph.emit` computes an edge's output for a tick range
+  and places it on the edge's channel (a multiset of in-flight
+  *transfers*);
+* :meth:`KnowledgeGraph.deliver` / :meth:`drop` consume a transfer,
+  accumulating (lattice lub) or losing it — the adversary chooses;
+* :meth:`KnowledgeGraph.forget` lowers any non-pubend node's ticks to Q;
+* :meth:`KnowledgeGraph.propagate_acks` runs the upstream A-consolidation
+  rule (a tick becomes anti-curious only when all successors are);
+* subends deliver D ticks below their doubt horizon, in tick order.
+
+The model-level property tests drive arbitrary adversarial schedules
+against it and check the paper's claims: knowledge is monotone outside
+explicit forgets, the error element E is unreachable, delivery is gapless
+and in order, and under fair re-emission everything published is
+eventually delivered (liveness).  The deployed protocol (repro.broker) is
+an engineered refinement of exactly this object.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.intervals import IntervalMap
+from ..core.lattice import C, K, k_lub
+from ..core.ticks import Tick, TickRange
+
+__all__ = ["KnowledgeGraph", "ModelNode", "Transfer"]
+
+
+class ModelNode:
+    """A node of the abstract graph: raw lattice knowledge + curiosity.
+
+    Unlike the operational :class:`~repro.core.streams.KnowledgeStream`,
+    values are *not* lowered: S and D* are first-class, exactly as in the
+    paper's Figure 2 lattice.
+    """
+
+    def __init__(self, name: str, is_pubend: bool = False, is_subend: bool = False):
+        self.name = name
+        self.is_pubend = is_pubend
+        self.is_subend = is_subend
+        self.knowledge: IntervalMap[K] = IntervalMap(K.Q)
+        self.curiosity: IntervalMap[C] = IntervalMap(C.N)
+        self.payloads: Dict[Tick, Any] = {}
+        #: Subend bookkeeping: ticks delivered to the (virtual) client.
+        self.delivered: List[Tuple[Tick, Any]] = []
+        self.delivered_horizon: Tick = 0
+
+    # -- knowledge -----------------------------------------------------------
+
+    def value_at(self, tick: Tick) -> K:
+        return self.knowledge.get(tick)
+
+    def accumulate(self, tick: Tick, value: K, payload: Any = None) -> None:
+        """Lattice accumulation of one tick (raises on reaching E)."""
+        old = self.knowledge.get(tick)
+        new = k_lub(old, value)
+        if new != old:
+            self.knowledge.set_value(tick, new)
+        if new == K.D and payload is not None:
+            self.payloads[tick] = payload
+        if new in (K.F, K.DSTAR, K.S) and new != K.D:
+            # The F <-> A linkage of section 2.1.1 (S is ackable too:
+            # "because K_t is or was S").
+            if self.curiosity.get(tick) != C.A and new in (K.F, K.DSTAR):
+                self.curiosity.set_value(tick, C.A)
+
+    def forget_range(self, rng: TickRange) -> None:
+        """Soft-state loss: drop to Q (never allowed at pubends)."""
+        if self.is_pubend:
+            raise ValueError("pubends never forget (stable storage)")
+        self.knowledge.clear_range(rng)
+        for tick in list(self.payloads):
+            if tick in rng:
+                del self.payloads[tick]
+
+    def lower_to_final(self, rng: TickRange) -> None:
+        """The monotone-down transition S, D* -> F of section 2.1."""
+        for run, value in list(self.knowledge.iter_runs(rng.start, rng.stop)):
+            if value in (K.S, K.DSTAR):
+                self.knowledge.set_range(run, K.F)
+                for tick in run:
+                    self.payloads.pop(tick, None)
+
+    def horizon(self) -> Tick:
+        span = self.knowledge.span()
+        return span.stop if span is not None else 0
+
+    def doubt_horizon(self) -> Tick:
+        first_q = self.knowledge.first_with(lambda v: v == K.Q, 0)
+        return first_q if first_q is not None else self.horizon()
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """A hyperedge: sources -> destination, filter or merge."""
+
+    name: str
+    sources: Tuple[str, ...]
+    destination: str
+    predicate: Optional[Callable[[Any], bool]]  # None => merge
+
+    @property
+    def is_merge(self) -> bool:
+        return self.predicate is None
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One in-flight knowledge value for one tick on one edge's channel."""
+
+    transfer_id: int
+    edge: str
+    tick: Tick
+    value: K
+    payload: Any = None
+
+
+class KnowledgeGraph:
+    """The abstract model as an adversary-driven transition system."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, ModelNode] = {}
+        self.edges: Dict[str, _Edge] = {}
+        #: edges indexed by source / destination node.
+        self._out: Dict[str, List[str]] = {}
+        self._in: Dict[str, List[str]] = {}
+        #: the in-flight multiset (the adversary delivers or drops).
+        self.channel: Dict[int, Transfer] = {}
+        self._transfer_ids = itertools.count()
+        self._delivered_log: List[Tuple[str, Tick, Any]] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def add_pubend(self, name: str) -> ModelNode:
+        return self._add(ModelNode(name, is_pubend=True))
+
+    def add_subend(self, name: str) -> ModelNode:
+        return self._add(ModelNode(name, is_subend=True))
+
+    def add_node(self, name: str) -> ModelNode:
+        return self._add(ModelNode(name))
+
+    def _add(self, node: ModelNode) -> ModelNode:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node {node.name!r}")
+        self.nodes[node.name] = node
+        self._out.setdefault(node.name, [])
+        self._in.setdefault(node.name, [])
+        return node
+
+    def add_filter(
+        self,
+        src: str,
+        dst: str,
+        predicate: Callable[[Any], bool] = lambda payload: True,
+        name: Optional[str] = None,
+    ) -> str:
+        edge_name = name or f"{src}->{dst}"
+        return self._add_edge(_Edge(edge_name, (src,), dst, predicate))
+
+    def add_merge(
+        self, sources: Sequence[str], dst: str, name: Optional[str] = None
+    ) -> str:
+        edge_name = name or f"merge({','.join(sources)})->{dst}"
+        return self._add_edge(_Edge(edge_name, tuple(sources), dst, None))
+
+    def _add_edge(self, edge: _Edge) -> str:
+        if edge.name in self.edges:
+            raise ValueError(f"duplicate edge {edge.name!r}")
+        for src in edge.sources:
+            if src not in self.nodes:
+                raise KeyError(src)
+            self._out[src].append(edge.name)
+        if edge.destination not in self.nodes:
+            raise KeyError(edge.destination)
+        self._in[edge.destination].append(edge.name)
+        self.edges[edge.name] = edge
+        return edge.name
+
+    # -- pubend actions ----------------------------------------------------------
+
+    def publish(self, pubend: str, tick: Tick, payload: Any) -> None:
+        """Assign D to a tick of a pubend (its log made it durable)."""
+        node = self.nodes[pubend]
+        if not node.is_pubend:
+            raise ValueError(f"{pubend} is not a pubend")
+        node.accumulate(tick, K.D, payload)
+
+    def silence(self, pubend: str, rng: TickRange) -> None:
+        """A pubend marks a range it will never use as silent."""
+        node = self.nodes[pubend]
+        if not node.is_pubend:
+            raise ValueError(f"{pubend} is not a pubend")
+        for tick in rng:
+            if node.value_at(tick) == K.Q:
+                node.accumulate(tick, K.S)
+
+    # -- edge emission (downstream knowledge flow) ----------------------------------
+
+    def edge_output(self, edge_name: str, tick: Tick) -> Tuple[K, Any]:
+        """The value an edge currently computes for one tick.
+
+        Filter (section 2.4): D passes when the payload matches, else
+        becomes F; F and S pass unchanged; D* passes as D* (knowledge
+        that the data is globally done is still knowledge).  Merge: D
+        from any input wins; F/S only when *all* inputs are final-ish.
+        """
+        edge = self.edges[edge_name]
+        if not edge.is_merge:
+            source = self.nodes[edge.sources[0]]
+            value = source.value_at(tick)
+            if value in (K.D, K.DSTAR):
+                payload = source.payloads.get(tick)
+                if edge.predicate(payload):
+                    return value, payload
+                return K.F, None
+            return value, None
+        all_final = True
+        for src in edge.sources:
+            value = self.nodes[src].value_at(tick)
+            if value in (K.D, K.DSTAR):
+                return value, self.nodes[src].payloads.get(tick)
+            if value == K.Q:
+                all_final = False
+        return (K.F, None) if all_final else (K.Q, None)
+
+    def emit(self, edge_name: str, rng: TickRange) -> List[int]:
+        """Compute an edge's output over a range and put each non-Q tick
+        on the channel.  Returns the transfer ids (for the adversary)."""
+        ids: List[int] = []
+        for tick in rng:
+            value, payload = self.edge_output(edge_name, tick)
+            if value == K.Q:
+                continue
+            transfer_id = next(self._transfer_ids)
+            self.channel[transfer_id] = Transfer(
+                transfer_id, edge_name, tick, value, payload
+            )
+            ids.append(transfer_id)
+        return ids
+
+    # -- adversary moves ----------------------------------------------------------
+
+    def deliver(self, transfer_id: int) -> None:
+        """Deliver one in-flight transfer (in any order the adversary
+        likes); accumulation is a lattice join at the destination."""
+        transfer = self.channel.pop(transfer_id)
+        destination = self.nodes[self.edges[transfer.edge].destination]
+        destination.accumulate(transfer.tick, transfer.value, transfer.payload)
+
+    def drop(self, transfer_id: int) -> None:
+        """Lose one in-flight transfer."""
+        del self.channel[transfer_id]
+
+    def forget(self, node: str, rng: TickRange) -> None:
+        """Soft-state loss at any non-pubend node."""
+        self.nodes[node].forget_range(rng)
+
+    # -- subend actions -----------------------------------------------------------
+
+    def subend_deliver(self, subend: str) -> List[Tuple[Tick, Any]]:
+        """Deliver all D ticks below the doubt horizon, in order, and mark
+        them anti-curious (section 2.3)."""
+        node = self.nodes[subend]
+        if not node.is_subend:
+            raise ValueError(f"{subend} is not a subend")
+        horizon = node.doubt_horizon()
+        out: List[Tuple[Tick, Any]] = []
+        if horizon <= node.delivered_horizon:
+            return out
+        window = TickRange(node.delivered_horizon, horizon)
+        for run, value in node.knowledge.iter_runs(window.start, window.stop):
+            if value in (K.D, K.DSTAR):
+                for tick in run:
+                    if value == K.D:
+                        payload = node.payloads.get(tick)
+                        out.append((tick, payload))
+                        self._delivered_log.append((subend, tick, payload))
+                        node.delivered.append((tick, payload))
+        node.delivered_horizon = horizon
+        node.curiosity.set_range(TickRange(0, horizon), C.A)
+        return out
+
+    def subend_curious(self, subend: str, rng: TickRange) -> None:
+        """Mark a gap curious at a subend (the GCT firing)."""
+        node = self.nodes[subend]
+        for run, value in list(node.curiosity.iter_runs(rng.start, rng.stop)):
+            if value == C.N:
+                node.curiosity.set_range(run, C.C)
+
+    # -- curiosity propagation (upstream) -------------------------------------------
+
+    def propagate_acks(self) -> None:
+        """One round of the upstream A-consolidation rule: a tick of a
+        node becomes A when every out-edge's destination is A for it (or
+        the node's own knowledge is final).  Runs to a fixed point when
+        called repeatedly; a single call performs one sweep in reverse
+        topological order, which reaches the fixed point on DAGs."""
+        for name in self._reverse_topological():
+            node = self.nodes[name]
+            if node.is_subend:
+                continue
+            limit = max(
+                (self.nodes[self.edges[e].destination].horizon()
+                 for e in self._out[name]),
+                default=0,
+            )
+            limit = max(limit, node.horizon())
+            for tick in range(0, limit):
+                if node.curiosity.get(tick) == C.A:
+                    continue
+                if self._all_downstream_acked(name, tick):
+                    node.curiosity.set_value(tick, C.A)
+                    # D + everyone-downstream-done => D* (then loweable to F)
+                    if node.value_at(tick) == K.D:
+                        node.knowledge.set_value(tick, K.DSTAR)
+
+    def _all_downstream_acked(self, name: str, tick: Tick) -> bool:
+        out_edges = self._out[name]
+        if not out_edges:
+            # A leaf non-subend node: acked iff its own knowledge is final.
+            return self.nodes[name].value_at(tick) in (K.F, K.DSTAR, K.S)
+        for edge_name in out_edges:
+            destination = self.nodes[self.edges[edge_name].destination]
+            if destination.curiosity.get(tick) != C.A:
+                return False
+        return True
+
+    def propagate_curiosity(self) -> None:
+        """One sweep of upstream C propagation: a filter's C flows to its
+        predecessor; a merge's C flows to predecessors with Q ticks."""
+        for name in self._reverse_topological():
+            node = self.nodes[name]
+            span = node.curiosity.span()
+            if span is None:
+                continue
+            for edge_name in self._in[name]:
+                edge = self.edges[edge_name]
+                for rng in node.curiosity.ranges_with(
+                    lambda v: v == C.C, span.start, span.stop
+                ):
+                    for src in edge.sources:
+                        source = self.nodes[src]
+                        for tick in rng:
+                            if source.curiosity.get(tick) == C.A:
+                                continue
+                            if edge.is_merge and source.value_at(tick) != K.Q:
+                                continue  # merge: only Q-predecessors
+                            source.curiosity.set_value(tick, C.C)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def _reverse_topological(self) -> List[str]:
+        order: List[str] = []
+        visited: Set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in visited:
+                return
+            visited.add(name)
+            for edge_name in self._out[name]:
+                visit(self.edges[edge_name].destination)
+            order.append(name)
+
+        for name in self.nodes:
+            visit(name)
+        return order
+
+    def delivered_at(self, subend: str) -> List[Tuple[Tick, Any]]:
+        return list(self.nodes[subend].delivered)
+
+    def in_flight(self) -> List[Transfer]:
+        return list(self.channel.values())
+
+    def check_no_error(self) -> None:
+        """E is unreachable (it would have raised at accumulate time);
+        assert additionally that no stored value equals E."""
+        for node in self.nodes.values():
+            for __, value in node.knowledge.runs():
+                assert value != K.E, f"error element stored at {node.name}"

@@ -1,0 +1,6 @@
+"""Deterministic discrete-event simulation substrate."""
+
+from .network import Node, SimLink, SimNetwork
+from .process import SimProcess
+from .scheduler import Scheduler, TimerHandle
+from .trace import TraceEvent, Tracer

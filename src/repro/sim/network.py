@@ -1,0 +1,230 @@
+"""Simulated network: nodes, lossy links, failures.
+
+Models exactly the failure behaviours the paper's protocol must tolerate
+(section 2): dropped messages, reordered messages, link outages, and the
+*stall* used by the paper's failure injection ("the link or broker to be
+failed was stalled for about 2-3 seconds during which it accepted data
+but did not forward it, then it was failed" — section 4.2).
+
+Links are full-duplex point-to-point channels with per-direction latency,
+optional jitter (which produces genuine reordering), an i.i.d. drop
+probability, and optional serialization bandwidth.  Delivery callbacks go
+through the shared deterministic :class:`~repro.sim.scheduler.Scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .scheduler import Scheduler
+
+__all__ = ["SimLink", "SimNetwork", "Node"]
+
+
+class Node:
+    """Anything attached to the network.
+
+    Subclasses (brokers, clients) override :meth:`receive`.  The network
+    silently discards deliveries to dead nodes — a crashed process neither
+    receives nor acknowledges anything.
+    """
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self.alive = True
+
+    def receive(self, src: str, message: Any) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class LinkStats:
+    """Per-link delivery accounting (both directions)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_random: int = 0
+    dropped_down: int = 0
+    dropped_stalled: int = 0
+    bytes_sent: int = 0
+
+
+class SimLink:
+    """A full-duplex link between two nodes.
+
+    State machine per link: *up* (delivering), *down* (dropping), or
+    *stalled* (accepting but never delivering — traffic is absorbed and
+    lost, modelling a sick process that still reads from its sockets).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        a: "Node",
+        b: "Node",
+        latency: float = 0.005,
+        jitter: float = 0.0,
+        drop_probability: float = 0.0,
+        bandwidth_bps: Optional[float] = None,
+    ):
+        if latency < 0 or jitter < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.scheduler = scheduler
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.jitter = jitter
+        self.drop_probability = drop_probability
+        self.bandwidth_bps = bandwidth_bps
+        self.up = True
+        self.stalled = False
+        self.stats = LinkStats()
+        #: Serialization cursors per direction (time the pipe frees up).
+        self._free_at: Dict[str, float] = {a.node_id: 0.0, b.node_id: 0.0}
+
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.a.node_id, self.b.node_id)
+
+    def other(self, node_id: str) -> "Node":
+        if node_id == self.a.node_id:
+            return self.b
+        if node_id == self.b.node_id:
+            return self.a
+        raise KeyError(f"{node_id} is not an endpoint of {self.endpoints()}")
+
+    # -- failure control ----------------------------------------------------
+
+    def fail(self) -> None:
+        """Take the link down; in-flight messages already scheduled still
+        arrive (they are on the wire), new sends are dropped."""
+        self.up = False
+        self.stalled = False
+
+    def recover(self) -> None:
+        self.up = True
+        self.stalled = False
+
+    def stall(self) -> None:
+        """Absorb traffic without delivering (pre-crash sickness)."""
+        self.stalled = True
+
+    # -- transmission --------------------------------------------------------
+
+    def send(self, src_id: str, message: Any, size_bytes: int = 100) -> bool:
+        """Transmit from the ``src_id`` endpoint to the other endpoint.
+
+        Returns True when the message was put on the wire (which does not
+        guarantee delivery).  Sending on a down link fails silently — the
+        sender learns about link failure through link-status machinery,
+        not through send errors (TCP would eventually error, but only
+        after its own timeouts).
+        """
+        destination = self.other(src_id)
+        self.stats.sent += 1
+        self.stats.bytes_sent += size_bytes
+        if not self.up:
+            self.stats.dropped_down += 1
+            return False
+        if self.stalled:
+            self.stats.dropped_stalled += 1
+            return False
+        if self.drop_probability and self.scheduler.rng.random() < self.drop_probability:
+            self.stats.dropped_random += 1
+            return True
+        delay = self.latency
+        if self.jitter:
+            delay += self.scheduler.rng.uniform(0.0, self.jitter)
+        if self.bandwidth_bps:
+            serialization = size_bytes * 8.0 / self.bandwidth_bps
+            start = max(self.scheduler.now, self._free_at[src_id])
+            self._free_at[src_id] = start + serialization
+            delay += (start + serialization) - self.scheduler.now
+        self.scheduler.call_later(delay, lambda: self._deliver(src_id, destination, message))
+        return True
+
+    def _deliver(self, src_id: str, destination: "Node", message: Any) -> None:
+        if not self.up:
+            # The link died while the message was in flight.
+            self.stats.dropped_down += 1
+            return
+        if not destination.alive:
+            return
+        self.stats.delivered += 1
+        destination.receive(src_id, message)
+
+
+class SimNetwork:
+    """The set of nodes and links of one simulation."""
+
+    def __init__(self, scheduler: Scheduler):
+        self.scheduler = scheduler
+        self.nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, str], SimLink] = {}
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def add_node(self, node: Node) -> None:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+
+    def connect(self, a: str, b: str, **link_params: Any) -> SimLink:
+        """Create a link between two registered nodes."""
+        if a == b:
+            raise ValueError("cannot link a node to itself")
+        key = self._key(a, b)
+        if key in self._links:
+            raise ValueError(f"link {key} already exists")
+        link = SimLink(self.scheduler, self.nodes[a], self.nodes[b], **link_params)
+        self._links[key] = link
+        return link
+
+    def link(self, a: str, b: str) -> SimLink:
+        return self._links[self._key(a, b)]
+
+    def has_link(self, a: str, b: str) -> bool:
+        return self._key(a, b) in self._links
+
+    def links_of(self, node_id: str) -> List[SimLink]:
+        return [
+            link
+            for key, link in self._links.items()
+            if node_id in key
+        ]
+
+    def neighbors(self, node_id: str) -> List[str]:
+        out = []
+        for (a, b) in self._links:
+            if a == node_id:
+                out.append(b)
+            elif b == node_id:
+                out.append(a)
+        return sorted(out)
+
+    def send(self, src: str, dst: str, message: Any, size_bytes: int = 100) -> bool:
+        """Send over the direct link between ``src`` and ``dst``.
+
+        Returns False (without raising) when no such link exists or the
+        link refuses the message — distributed senders discover topology
+        problems asynchronously, not via exceptions.
+        """
+        key = self._key(src, dst)
+        link = self._links.get(key)
+        if link is None:
+            return False
+        if not self.nodes[src].alive:
+            return False
+        return link.send(src, message, size_bytes)
+
+    def link_is_usable(self, src: str, dst: str) -> bool:
+        """The sender's local view of link health: the link exists, is up,
+        and the peer process is alive.  A *stalled* link still looks
+        usable — stalls are by construction undetectable sickness (paper
+        section 4.2)."""
+        link = self._links.get(self._key(src, dst))
+        return link is not None and link.up and self.nodes[dst].alive

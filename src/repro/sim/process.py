@@ -1,0 +1,99 @@
+"""Simulated processes: crash/restart-aware nodes with safe timers.
+
+A :class:`SimProcess` is a network node that owns timers.  Crashing a
+process must invalidate every timer it armed — a restarted broker must not
+be poked by callbacks belonging to its previous incarnation — so timers
+are wrapped with an *epoch* check: :meth:`crash` bumps the epoch and all
+older timers become no-ops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .network import Node, SimNetwork
+from .scheduler import Scheduler, TimerHandle
+
+__all__ = ["SimProcess"]
+
+
+class SimProcess(Node):
+    """Base class for brokers and clients living in the simulator."""
+
+    def __init__(self, node_id: str, network: SimNetwork, scheduler: Scheduler):
+        super().__init__(node_id)
+        self.network = network
+        self.scheduler = scheduler
+        self.epoch = 0
+
+    # -- timers ---------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        """Arm a timer tied to this incarnation of the process."""
+        epoch = self.epoch
+        return self.scheduler.call_later(delay, lambda: self._fire(epoch, fn))
+
+    def schedule_at(self, when: float, fn: Callable[[], None]) -> TimerHandle:
+        epoch = self.epoch
+        return self.scheduler.call_at(when, lambda: self._fire(epoch, fn))
+
+    def every(self, interval: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` every ``interval`` seconds until crash."""
+        epoch = self.epoch
+
+        def tick() -> None:
+            if self.epoch != epoch or not self.alive:
+                return
+            fn()
+            self.scheduler.call_later(interval, tick)
+
+        self.scheduler.call_later(interval, tick)
+
+    def _fire(self, epoch: int, fn: Callable[[], None]) -> None:
+        if self.epoch == epoch and self.alive:
+            fn()
+
+    def now(self) -> float:
+        return self.scheduler.now
+
+    # -- lifecycle --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the process: drop all soft state hooks and timers.
+
+        Subclasses override :meth:`on_crash` to discard their soft state.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.epoch += 1
+        self.on_crash()
+
+    def restart(self) -> None:
+        """Bring the process back with a fresh epoch."""
+        if self.alive:
+            return
+        self.alive = True
+        self.epoch += 1
+        self.on_restart()
+
+    def on_crash(self) -> None:  # pragma: no cover - default no-op
+        """Hook: release soft state."""
+
+    def on_restart(self) -> None:  # pragma: no cover - default no-op
+        """Hook: recover from stable storage, restart timers."""
+
+    # -- messaging ---------------------------------------------------------
+
+    def send(self, dst: str, message: Any, size_bytes: int = 100) -> bool:
+        if not self.alive:
+            return False
+        return self.network.send(self.node_id, dst, message, size_bytes)
+
+    def receive(self, src: str, message: Any) -> None:
+        if not self.alive:
+            return
+        self.on_message(src, message)
+
+    def on_message(self, src: str, message: Any) -> None:
+        raise NotImplementedError

@@ -1,0 +1,3 @@
+"""Stable storage for pubends (the only persistent state in the system)."""
+
+from .log import FileLog, LogEntry, MemoryLog, MessageLog

@@ -1,0 +1,256 @@
+"""Stable storage for pubends.
+
+The guaranteed-delivery protocol requires persistent storage *only at the
+publishing broker* (paper sections 1-2): a pubend assigns each published
+message a tick, logs it, and only logged messages are considered published.
+Everything else in the system is soft state.
+
+Two implementations are provided:
+
+* :class:`MemoryLog` — an in-process log.  "Stable" relative to simulated
+  broker crashes: the simulator keeps the log object alive across a crash
+  and hands it back on restart, exactly as a disk would survive a process
+  kill (the paper's failure injection kills the broker process).
+* :class:`FileLog` — a JSON-lines append-only file, crash-recoverable by
+  replay, for the asyncio runtime and recovery tests.
+
+Both model *group-commit latency*: ``commit_latency`` is the delay between
+an append and the entry being durable.  The paper observes a constant
+~100 ms latency gap between guaranteed and best-effort delivery caused by
+logging at the PHB; the latency model reproduces that gap (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..core.ticks import Tick
+
+__all__ = ["LogEntry", "MessageLog", "MemoryLog", "FileLog"]
+
+
+def _encode_payload(payload: Any) -> Any:
+    """JSON-encodable form of a payload (events carry a marker)."""
+    from ..matching.events import Event
+
+    if isinstance(payload, Event):
+        return {"__event__": payload.to_wire()}
+    return payload
+
+
+def _decode_payload(obj: Any) -> Any:
+    from ..matching.events import Event
+
+    if isinstance(obj, dict) and "__event__" in obj:
+        return Event.from_wire(obj["__event__"])
+    return obj
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged publication: the assigned tick and the message payload."""
+
+    pubend: str
+    tick: Tick
+    payload: Any
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "pubend": self.pubend,
+            "tick": self.tick,
+            "payload": _encode_payload(self.payload),
+        }
+
+    @classmethod
+    def from_wire(cls, obj: Dict[str, Any]) -> "LogEntry":
+        return cls(
+            pubend=obj["pubend"],
+            tick=obj["tick"],
+            payload=_decode_payload(obj["payload"]),
+        )
+
+
+class MessageLog:
+    """Interface of a pubend message log.
+
+    Appends are ordered; ``commit_latency`` reports the configured delay
+    between an append and durability (the caller — the PHB — schedules
+    the downstream send after this delay).
+    """
+
+    #: Seconds between append and durability (group commit).
+    commit_latency: float = 0.0
+
+    def append(self, entry: LogEntry) -> None:
+        raise NotImplementedError
+
+    def entries(self, pubend: str) -> List[LogEntry]:
+        """All durable entries for one pubend, in append order."""
+        raise NotImplementedError
+
+    def truncate(self, pubend: str, below_tick: Tick) -> int:
+        """Discard entries with ``tick < below_tick``; returns count removed.
+
+        Safe once the prefix is acknowledged by every downstream path.
+        """
+        raise NotImplementedError
+
+    def last_tick(self, pubend: str) -> Optional[Tick]:
+        """Tick of the newest durable entry for ``pubend``, if any."""
+        entries = self.entries(pubend)
+        return entries[-1].tick if entries else None
+
+    def truncated_below(self, pubend: str) -> Tick:
+        """The durable truncation point: all ticks below it were
+        acknowledged by every downstream path before being discarded."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (no-op by default)."""
+
+
+class MemoryLog(MessageLog):
+    """In-memory append-only log.
+
+    Survives *simulated* crashes (the injector preserves the object),
+    modelling a disk that outlives the broker process.
+    """
+
+    def __init__(self, commit_latency: float = 0.0):
+        self.commit_latency = commit_latency
+        self._entries: Dict[str, List[LogEntry]] = {}
+        self._truncated_below: Dict[str, Tick] = {}
+        self.append_count = 0
+
+    def append(self, entry: LogEntry) -> None:
+        bucket = self._entries.setdefault(entry.pubend, [])
+        if bucket and entry.tick <= bucket[-1].tick:
+            raise ValueError(
+                f"non-monotonic append for {entry.pubend}: "
+                f"{entry.tick} after {bucket[-1].tick}"
+            )
+        bucket.append(entry)
+        self.append_count += 1
+
+    def entries(self, pubend: str) -> List[LogEntry]:
+        return list(self._entries.get(pubend, []))
+
+    def truncate(self, pubend: str, below_tick: Tick) -> int:
+        bucket = self._entries.get(pubend, [])
+        keep = [e for e in bucket if e.tick >= below_tick]
+        removed = len(bucket) - len(keep)
+        self._entries[pubend] = keep
+        previous = self._truncated_below.get(pubend, 0)
+        self._truncated_below[pubend] = max(previous, below_tick)
+        return removed
+
+    def truncated_below(self, pubend: str) -> Tick:
+        return self._truncated_below.get(pubend, 0)
+
+    def pubends(self) -> List[str]:
+        return sorted(self._entries)
+
+
+class FileLog(MessageLog):
+    """Append-only JSON-lines log file with replay-based recovery.
+
+    Each appended entry is written as one JSON line and flushed.  On open,
+    existing content is replayed to rebuild the in-memory index; a torn
+    final line (crash mid-write) is tolerated and discarded.  Truncation
+    is logical (a truncation marker line); :meth:`compact` rewrites the
+    file to drop dead entries physically.
+    """
+
+    def __init__(self, path: str, commit_latency: float = 0.0):
+        self.path = path
+        self.commit_latency = commit_latency
+        self._entries: Dict[str, List[LogEntry]] = {}
+        self._truncated_below: Dict[str, Tick] = {}
+        self._replay()
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def _replay(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn tail write from a crash; everything before it is
+                    # durable, the torn entry was never acknowledged.
+                    break
+                if obj.get("op") == "truncate":
+                    self._apply_truncate(obj["pubend"], obj["below"])
+                else:
+                    entry = LogEntry.from_wire(obj)
+                    self._entries.setdefault(entry.pubend, []).append(entry)
+
+    def _apply_truncate(self, pubend: str, below: Tick) -> int:
+        bucket = self._entries.get(pubend, [])
+        keep = [e for e in bucket if e.tick >= below]
+        removed = len(bucket) - len(keep)
+        self._entries[pubend] = keep
+        previous = self._truncated_below.get(pubend, 0)
+        self._truncated_below[pubend] = max(previous, below)
+        return removed
+
+    def append(self, entry: LogEntry) -> None:
+        bucket = self._entries.setdefault(entry.pubend, [])
+        if bucket and entry.tick <= bucket[-1].tick:
+            raise ValueError(
+                f"non-monotonic append for {entry.pubend}: "
+                f"{entry.tick} after {bucket[-1].tick}"
+            )
+        self._fh.write(json.dumps(entry.to_wire()) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        bucket.append(entry)
+
+    def entries(self, pubend: str) -> List[LogEntry]:
+        return list(self._entries.get(pubend, []))
+
+    def truncate(self, pubend: str, below_tick: Tick) -> int:
+        removed = self._apply_truncate(pubend, below_tick)
+        self._fh.write(
+            json.dumps({"op": "truncate", "pubend": pubend, "below": below_tick})
+            + "\n"
+        )
+        self._fh.flush()
+        return removed
+
+    def truncated_below(self, pubend: str) -> Tick:
+        return self._truncated_below.get(pubend, 0)
+
+    def compact(self) -> None:
+        """Rewrite the file keeping only live entries."""
+        tmp_path = self.path + ".compact"
+        with open(tmp_path, "w", encoding="utf-8") as out:
+            for pubend in sorted(self._entries):
+                below = self._truncated_below.get(pubend)
+                if below is not None:
+                    out.write(
+                        json.dumps(
+                            {"op": "truncate", "pubend": pubend, "below": below}
+                        )
+                        + "\n"
+                    )
+                for entry in self._entries[pubend]:
+                    out.write(json.dumps(entry.to_wire()) + "\n")
+        self._fh.close()
+        os.replace(tmp_path, self.path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def pubends(self) -> List[str]:
+        return sorted(self._entries)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()

@@ -1,0 +1,192 @@
+"""Integration tests for the asyncio runtime (real wall-clock timers)."""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.aio.runtime import AioSystem
+from repro.aio.transport import LocalTransport, TcpTransport
+from repro.client import DeliveryChecker
+from repro.core.config import LivenessParams
+from repro.core.subend import Subscription
+from repro.topology import two_broker_topology
+
+# Tight liveness settings so wall-clock tests stay fast.
+FAST = LivenessParams(gct=0.05, nrt_min=0.1, aet=1.0, dct=math.inf,
+                      silence_interval=0.1, link_status_interval=0.1,
+                      nrt_max=2.0)
+
+
+def gd_topology():
+    topo = two_broker_topology()
+    topo.pubend("P0", "phb")
+    topo.route("P0", "PHB", "SHB")
+    return topo
+
+
+def check(system, publisher, client, sub_id):
+    class Ground:
+        def __init__(self, pub):
+            self.pubend = pub.pubend
+            self.published = pub.published
+
+    return DeliveryChecker([Ground(publisher)]).check(
+        client, system.subscriptions[sub_id]
+    )
+
+
+class TestLocalTransport:
+    def test_end_to_end_exactly_once(self):
+        async def scenario():
+            system = AioSystem(gd_topology(), params=FAST)
+            await system.start()
+            client = system.subscribe("a", "shb", ("P0",))
+            publisher = system.publisher("P0", rate=200.0)
+            publisher.start()
+            await system.run_for(0.5)
+            await publisher.stop()
+            await system.run_for(0.5)
+            report = check(system, publisher, client, "a")
+            await system.shutdown()
+            return report, publisher
+
+        report, publisher = asyncio.run(scenario())
+        assert len(publisher.published) > 50
+        assert report.exactly_once
+
+    def test_recovers_from_random_drops(self):
+        async def scenario():
+            transport = LocalTransport(drop_probability=0.15, seed=7)
+            system = AioSystem(gd_topology(), params=FAST, transport=transport)
+            await system.start()
+            client = system.subscribe("a", "shb", ("P0",))
+            publisher = system.publisher("P0", rate=200.0)
+            publisher.start()
+            await system.run_for(0.6)
+            await publisher.stop()
+            await system.run_for(1.5)
+            report = check(system, publisher, client, "a")
+            await system.shutdown()
+            return report, transport
+
+        report, transport = asyncio.run(scenario())
+        assert transport.dropped > 0
+        assert report.exactly_once
+
+    def test_content_filtering(self):
+        async def scenario():
+            system = AioSystem(gd_topology(), params=FAST)
+            await system.start()
+            client = system.subscribe("a", "shb", ("P0",), "g = 0")
+            publisher = system.publisher(
+                "P0", rate=200.0, make_attributes=lambda i: {"g": i % 2}
+            )
+            publisher.start()
+            await system.run_for(0.4)
+            await publisher.stop()
+            await system.run_for(0.4)
+            report = check(system, publisher, client, "a")
+            await system.shutdown()
+            return report, publisher
+
+        report, publisher = asyncio.run(scenario())
+        assert report.exactly_once
+        assert report.matching_published < len(publisher.published)
+
+    def test_broker_crash_and_recovery(self):
+        async def scenario():
+            transport = LocalTransport()
+            system = AioSystem(
+                gd_topology(), params=FAST, transport=transport
+            )
+            await system.start()
+            client = system.subscribe("a", "shb", ("P0",))
+            publisher = system.publisher("P0", rate=100.0)
+            publisher.start()
+            await system.run_for(0.3)
+            system.brokers["phb"].crash()
+            await system.run_for(0.3)  # publishes fail while down
+            system.brokers["phb"].restart()
+            await system.run_for(0.5)
+            await publisher.stop()
+            await system.run_for(1.5)
+            report = check(system, publisher, client, "a")
+            await system.shutdown()
+            return report, publisher
+
+        report, publisher = asyncio.run(scenario())
+        assert publisher.failed_attempts > 0
+        assert report.exactly_once
+
+
+class TestSubscriptionPropagationOverAio:
+    def test_summaries_prune_traffic_in_real_time(self):
+        async def scenario():
+            params = FAST.with_(
+                subscription_propagation=True, link_status_interval=0.05
+            )
+            transport = LocalTransport()
+            system = AioSystem(gd_topology(), params=params, transport=transport)
+            await system.start()
+            client = system.subscribe("a", "shb", ("P0",), "g = 0")
+            await system.run_for(0.2)  # summary reaches the PHB
+            publisher = system.publisher(
+                "P0", rate=200.0, make_attributes=lambda i: {"g": i % 4}
+            )
+            publisher.start()
+            await system.run_for(0.4)
+            await publisher.stop()
+            await system.run_for(0.4)
+            report = check(system, publisher, client, "a")
+            phb_stats = system.brokers["phb"].engine.stats()
+            await system.shutdown()
+            return report, publisher, phb_stats
+
+        report, publisher, phb_stats = asyncio.run(scenario())
+        assert report.exactly_once
+        # The PHB's ostream marks only ~1/4 of ticks as D (the rest were
+        # pruned by the advertised summary before ever being sent).
+        sent = phb_stats["counters"].get("knowledge_sent", 0)
+        assert sent < len(publisher.published)
+
+
+class TestTcpTransport:
+    def test_frames_round_trip(self):
+        from repro.aio.transport import decode_frame, encode_frame
+        from repro.broker.state import Envelope, LinkStatusMessage
+        from repro.core.messages import AckMessage, DataTick, KnowledgeMessage
+        from repro.core.ticks import TickRange
+
+        for message in (
+            Envelope(
+                KnowledgeMessage(
+                    pubend="P",
+                    fin_prefix=10,
+                    f_ranges=(TickRange(12, 20),),
+                    data=(DataTick(25, {"a": {"x": 1}}),),
+                )
+            ),
+            Envelope(AckMessage("P", 99), target_cell="SHB", sideways=True),
+            LinkStatusMessage("b1", frozenset({"SHB1"})),
+        ):
+            assert decode_frame(encode_frame(message)) == message
+
+    def test_end_to_end_over_tcp(self):
+        async def scenario():
+            transport = TcpTransport()
+            system = AioSystem(gd_topology(), params=FAST, transport=transport)
+            await system.start()
+            client = system.subscribe("a", "shb", ("P0",))
+            publisher = system.publisher("P0", rate=100.0)
+            publisher.start()
+            await system.run_for(0.6)
+            await publisher.stop()
+            await system.run_for(0.8)
+            report = check(system, publisher, client, "a")
+            await system.shutdown()
+            return report, publisher
+
+        report, publisher = asyncio.run(scenario())
+        assert len(publisher.published) > 20
+        assert report.exactly_once

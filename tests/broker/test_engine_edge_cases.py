@@ -1,0 +1,180 @@
+"""Edge-case tests of the GD engine: retransmission trimming, strict
+silence rules, curiosity bookkeeping, timers, and counters."""
+
+import pytest
+
+from repro.broker.engine import GDBrokerEngine
+from repro.broker.state import BrokerTopologyInfo, Envelope, PubendRoute
+from repro.core.config import LivenessParams
+from repro.core.edges import FilterEdge, MATCH_ALL
+from repro.core.lattice import C, K
+from repro.core.messages import (
+    AckExpectedMessage,
+    AckMessage,
+    DataTick,
+    KnowledgeMessage,
+    NackMessage,
+)
+from repro.core.ticks import TickRange
+
+from .test_engine import FakeServices, data_msg, intermediate_topo
+
+
+def make_engine(params=None, topo=None):
+    services = FakeServices()
+    engine = GDBrokerEngine(
+        topo or intermediate_topo(filter2=MATCH_ALL),
+        params or LivenessParams(),
+        services,
+    )
+    return services, engine
+
+
+class TestRetransmissionTrimming:
+    def test_d_ticks_removed_when_path_not_curious_for_them(self):
+        """Paper 3.1: 'A D tick in a retransmitted message is transformed
+        into a Q if the downstream cell is not curious for the D tick
+        (but is curious for some of the F ticks in the message).'"""
+        services, engine = make_engine()
+        # Two data messages known locally.
+        engine.on_envelope("p1", Envelope(data_msg(5, 99, f=[(0, 5)])))
+        engine.on_envelope("p1", Envelope(data_msg(9, 50, f=[(6, 9)])))
+        services.sent.clear()
+        # s1 nacks ONLY the silent range 6..8 (it already has 5 and 9).
+        engine.on_envelope("s1", Envelope(NackMessage("P", (TickRange(6, 9),))))
+        answers = services.knowledge_to("s1")
+        assert len(answers) == 1
+        message = answers[0][1].payload
+        assert message.retransmit
+        assert message.data_ticks == []  # no D the path did not ask for
+        covered = set()
+        for rng in message.merged_f_ranges():
+            covered.update(rng)
+        assert covered >= {6, 7, 8}
+
+    def test_partial_d_curiosity(self):
+        services, engine = make_engine()
+        engine.on_envelope("p1", Envelope(data_msg(5, 99, f=[(0, 5)])))
+        engine.on_envelope("p1", Envelope(data_msg(9, 50, f=[(6, 9)])))
+        services.sent.clear()
+        engine.on_envelope("s1", Envelope(NackMessage("P", (TickRange(9, 10),))))
+        message = services.knowledge_to("s1")[0][1].payload
+        assert message.data_ticks == [9]  # tick 5 not included
+
+
+class TestStrictSilenceRule:
+    def test_filtered_data_suppressed_until_curious(self):
+        """With silence_broadcast False (the paper's strict rule), a
+        fully filtered first-time message produces no traffic; the
+        knowledge arrives later, on demand."""
+        services, engine = make_engine(
+            params=LivenessParams(silence_broadcast=False),
+            topo=intermediate_topo(),  # SHB2 filters v <= 10
+        )
+        engine.on_envelope("p1", Envelope(data_msg(5, 1, f=[(0, 5)])))
+        assert services.knowledge_to("s2") == []
+        # s2 eventually nacks the unknown range; now the F answer flows.
+        engine.on_envelope("s2", Envelope(NackMessage("P", (TickRange(0, 6),))))
+        answers = services.knowledge_to("s2")
+        assert len(answers) == 1
+        assert answers[0][1].payload.is_silence
+
+    def test_pubend_silence_suppressed_without_broadcast(self):
+        services, engine = make_engine(
+            params=LivenessParams(silence_broadcast=False)
+        )
+        silence = KnowledgeMessage(pubend="P", f_ranges=(TickRange(0, 100),))
+        engine.on_envelope("p1", Envelope(silence))
+        assert services.knowledge_to("s1") == []
+        assert services.knowledge_to("s2") == []
+
+    def test_pubend_silence_forwarded_with_broadcast(self):
+        services, engine = make_engine(
+            params=LivenessParams(silence_broadcast=True)
+        )
+        silence = KnowledgeMessage(pubend="P", f_ranges=(TickRange(0, 100),))
+        engine.on_envelope("p1", Envelope(silence))
+        assert len(services.knowledge_to("s1")) == 1
+        assert len(services.knowledge_to("s2")) == 1
+
+
+class TestCuriosityBookkeeping:
+    def test_istream_curiosity_cleared_by_arriving_data(self):
+        services, engine = make_engine()
+        engine.on_envelope("s1", Envelope(NackMessage("P", (TickRange(5, 6),))))
+        ist = engine.istreams["P"]
+        assert ist.stream.curiosity.value_at(5) == C.C
+        engine.on_envelope("p1", Envelope(data_msg(5, 99)))
+        assert ist.stream.curiosity.value_at(5) == C.N
+
+    def test_ostream_curiosity_reset_after_service(self):
+        services, engine = make_engine()
+        engine.on_envelope("p1", Envelope(data_msg(5, 99, f=[(0, 5)])))
+        engine.on_envelope("s1", Envelope(NackMessage("P", (TickRange(5, 6),))))
+        ost = engine.ostreams["P"]["SHB1"]
+        # Serviced immediately from local state: back to N, so the next
+        # knowledge message does not re-trigger a retransmission.
+        assert ost.stream.curiosity.value_at(5) == C.N
+
+    def test_nack_entirely_final_is_absorbed(self):
+        """A nack for ticks the path itself already acked produces a
+        silence answer and nothing upstream."""
+        services, engine = make_engine()
+        engine.on_envelope("p1", Envelope(data_msg(5, 99, f=[(0, 5)])))
+        engine.on_envelope("s1", Envelope(AckMessage("P", 6)))
+        services.sent.clear()
+        engine.on_envelope("s1", Envelope(NackMessage("P", (TickRange(0, 6),))))
+        assert services.payloads(NackMessage, "p1") == []
+        answers = services.knowledge_to("s1")
+        assert answers and answers[0][1].payload.is_silence
+
+
+class TestTimersAndCounters:
+    def test_start_arms_sweep_and_link_status(self):
+        services, engine = make_engine()
+        engine.start()
+        delays = sorted(when for when, __, ___ in services.timers)
+        params = engine.params
+        assert params.nrt_min in delays
+        assert params.link_status_interval in delays
+
+    def test_periodic_timer_reschedules(self):
+        services, engine = make_engine()
+        engine.start()
+        count_before = len(services.timers)
+        # fire every armed timer once
+        for when, fn, __ in list(services.timers):
+            fn()
+        assert len(services.timers) >= 2 * count_before - 2
+
+    def test_unknown_pubend_publish_raises(self):
+        services, engine = make_engine()
+        with pytest.raises(KeyError):
+            engine.publish("GHOST", {"v": 1})
+
+    def test_upstream_unreachable_counter(self):
+        services, engine = make_engine()
+        services.dead_links.update({"p1"})
+        engine.on_envelope("s1", Envelope(NackMessage("P", (TickRange(0, 5),))))
+        assert engine.counters.get("upstream_unreachable") == 1
+
+    def test_ack_expected_with_target_cell(self):
+        services, engine = make_engine()
+        engine.on_envelope("p1", Envelope(data_msg(5, 99, f=[(0, 5)])))
+        services.sent.clear()
+        probe = Envelope(AckExpectedMessage("P", 6), target_cell="SHB1")
+        engine.on_envelope("p1", probe)
+        assert services.payloads(AckExpectedMessage, "s1")
+        assert services.payloads(AckExpectedMessage, "s2") == []
+
+
+class TestConsolidationAblation:
+    def test_disabled_consolidation_forwards_everything(self):
+        services, engine = make_engine(
+            params=LivenessParams(nack_consolidation=False)
+        )
+        engine.on_envelope("s1", Envelope(NackMessage("P", (TickRange(0, 50),))))
+        engine.on_envelope("s2", Envelope(NackMessage("P", (TickRange(0, 50),))))
+        upstream = services.payloads(NackMessage, "p1")
+        assert len(upstream) == 2  # both forwarded verbatim
+        assert all(n.tick_count() == 50 for (__, n) in upstream)

@@ -1,0 +1,183 @@
+"""Unit tests of the simulator-hosted broker: lifecycle, CPU accounting,
+client fan-out scheduling."""
+
+import pytest
+
+from repro.broker.simbroker import SimBroker, SubscriberHooks
+from repro.broker.state import BrokerTopologyInfo, PubendRoute
+from repro.core.config import LivenessParams
+from repro.core.edges import FilterEdge, MATCH_ALL
+from repro.core.subend import Subscription
+from repro.sim.network import SimNetwork
+from repro.sim.scheduler import Scheduler
+from repro.storage.log import MemoryLog
+
+
+class Client(SubscriberHooks):
+    def __init__(self):
+        self.deliveries = []
+
+    def on_delivery(self, pubend, tick, payload, time):
+        self.deliveries.append((pubend, tick, payload, time))
+
+
+def standalone_phb_shb():
+    """A connected PHB + SHB pair of SimBrokers."""
+    scheduler = Scheduler(seed=1)
+    network = SimNetwork(scheduler)
+    phb_info = BrokerTopologyInfo(
+        broker_id="phb",
+        cell="PHB",
+        neighbors=frozenset({"shb"}),
+        cell_of={"phb": "PHB", "shb": "SHB"},
+        brokers_of_cell={"PHB": ("phb",), "SHB": ("shb",)},
+        routes={
+            "P": PubendRoute(
+                pubend="P",
+                upstream_cell=None,
+                downstream={"SHB": FilterEdge(MATCH_ALL)},
+                subtree={"SHB": frozenset()},
+            )
+        },
+    )
+    shb_info = BrokerTopologyInfo(
+        broker_id="shb",
+        cell="SHB",
+        neighbors=frozenset({"phb"}),
+        cell_of={"phb": "PHB", "shb": "SHB"},
+        brokers_of_cell={"PHB": ("phb",), "SHB": ("shb",)},
+        routes={"P": PubendRoute(pubend="P", upstream_cell="PHB", downstream={})},
+    )
+    params = LivenessParams(gct=0.1, nrt_min=0.3)
+    phb = SimBroker("phb", network, scheduler, phb_info, params)
+    shb = SimBroker("shb", network, scheduler, shb_info, params)
+    network.add_node(phb)
+    network.add_node(shb)
+    network.connect("phb", "shb", latency=0.001)
+    return scheduler, phb, shb
+
+
+class TestDataPath:
+    def test_publish_delivers_to_remote_client(self):
+        scheduler, phb, shb = standalone_phb_shb()
+        client = Client()
+        shb.add_subscription(Subscription("a", pubends=("P",)), client)
+        log = MemoryLog(commit_latency=0.05)
+        phb.host_pubend("P", log)
+        phb.start()
+        shb.start()
+        scheduler.call_at(0.1, lambda: phb.publish("P", {"x": 1}))
+        scheduler.run_until(1.0)
+        assert len(client.deliveries) == 1
+        __, tick, payload, when = client.deliveries[0]
+        assert payload == {"x": 1}
+        assert when >= 0.15  # commit latency honoured
+
+    def test_publish_while_dead_returns_none(self):
+        scheduler, phb, shb = standalone_phb_shb()
+        phb.host_pubend("P", MemoryLog())
+        phb.crash()
+        assert phb.publish("P", {"x": 1}) is None
+
+    def test_cpu_charged_for_publish_and_receive(self):
+        scheduler, phb, shb = standalone_phb_shb()
+        shb.add_subscription(Subscription("a", pubends=("P",)), Client())
+        phb.host_pubend("P", MemoryLog())
+        phb.start()
+        shb.start()
+        scheduler.call_at(0.1, lambda: phb.publish("P", {"x": 1}))
+        scheduler.run_until(1.0)
+        assert phb.accountant.busy_time > 0
+        assert shb.accountant.busy_time > 0
+        assert "publish" in phb.accountant.by_category()
+
+    def test_fanout_serializes_client_sends(self):
+        scheduler, phb, shb = standalone_phb_shb()
+        clients = [Client() for _ in range(20)]
+        for i, client in enumerate(clients):
+            shb.add_subscription(Subscription(f"c{i}", pubends=("P",)), client)
+        phb.host_pubend("P", MemoryLog())
+        phb.start()
+        shb.start()
+        scheduler.call_at(0.1, lambda: phb.publish("P", {"x": 1}))
+        scheduler.run_until(1.0)
+        times = [c.deliveries[0][3] for c in clients]
+        assert len(set(times)) > 1  # the 20 socket writes are serialized
+        assert max(times) > min(times)
+
+
+class TestLifecycle:
+    def test_crash_discards_engine_soft_state(self):
+        scheduler, phb, shb = standalone_phb_shb()
+        phb.host_pubend("P", MemoryLog())
+        phb.start()
+        shb.start()
+        scheduler.call_at(0.1, lambda: phb.publish("P", {"x": 1}))
+        scheduler.run_until(0.5)
+        phb.crash()
+        assert phb.engine is None
+
+    def test_restart_recovers_pubends_from_log(self):
+        scheduler, phb, shb = standalone_phb_shb()
+        log = MemoryLog()
+        phb.host_pubend("P", log)
+        phb.start()
+        shb.start()
+        # Cut the link so no ack can come back: the publication must stay
+        # un-truncated in the log and recover as D after the crash.
+        phb.network.link("phb", "shb").fail()
+        published = []
+        scheduler.call_at(0.1, lambda: published.append(phb.publish("P", {"x": 1})))
+        scheduler.run_until(0.5)
+        phb.crash()
+        scheduler.run_until(1.0)
+        phb.restart()
+        recovered = phb.engine.pubends["P"]
+        assert recovered.stream.value_at(published[0]).name == "D"
+        assert log.entries("P")  # still durable, not yet acknowledged
+
+    def test_restart_charges_warmup(self):
+        scheduler, phb, shb = standalone_phb_shb()
+        phb.restart_warmup = 0.5
+        phb.host_pubend("P", MemoryLog())
+        phb.crash()
+        busy_before = phb.accountant.busy_time
+        phb.restart()
+        assert phb.accountant.busy_time >= busy_before + 0.5
+
+    def test_messages_ignored_while_crashed(self):
+        scheduler, phb, shb = standalone_phb_shb()
+        client = Client()
+        shb.add_subscription(Subscription("a", pubends=("P",)), client)
+        phb.host_pubend("P", MemoryLog())
+        phb.start()
+        shb.start()
+        shb.crash()
+        scheduler.call_at(0.1, lambda: phb.publish("P", {"x": 1}))
+        scheduler.run_until(1.0)
+        assert client.deliveries == []
+
+    def test_exactly_once_across_phb_crash(self):
+        scheduler, phb, shb = standalone_phb_shb()
+        client = Client()
+        shb.add_subscription(Subscription("a", pubends=("P",)), client)
+        log = MemoryLog(commit_latency=0.05)
+        phb.host_pubend("P", log)
+        phb.start()
+        shb.start()
+        ticks = []
+
+        def pub():
+            tick = phb.publish("P", {"x": len(ticks)})
+            if tick is not None:
+                ticks.append(tick)
+
+        for i in range(20):
+            scheduler.call_at(0.1 + i * 0.05, pub)
+        # crash right after a commit window, restart later
+        scheduler.call_at(0.42, phb.crash)
+        scheduler.call_at(0.9, phb.restart)
+        scheduler.run_until(30.0)
+        delivered = [t for (__, t, ___, ____) in client.deliveries]
+        assert delivered == sorted(set(delivered))
+        assert set(delivered) == set(ticks)

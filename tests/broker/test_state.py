@@ -1,0 +1,73 @@
+"""Unit tests for broker soft state and envelopes."""
+
+import pytest
+
+from repro.broker.state import (
+    BrokerTopologyInfo,
+    Envelope,
+    IStream,
+    LinkStatusMessage,
+    OStream,
+    PubendRoute,
+)
+from repro.core.edges import FilterEdge, MATCH_ALL
+from repro.core.messages import AckMessage, DataTick, KnowledgeMessage
+from repro.core.ticks import TickRange
+
+
+class TestOStream:
+    def test_ack_prefix_from_downstream_ack(self):
+        ost = OStream("P", "CELL", FilterEdge(MATCH_ALL))
+        assert ost.ack_prefix() == 0
+        ost.stream.set_ack(TickRange(0, 50))
+        assert ost.ack_prefix() == 50
+
+    def test_filtered_data_is_immediately_ackable(self):
+        """Paper: D ticks filtered at an intermediate broker can be acked
+        by it without waiting for downstream."""
+        ost = OStream("P", "CELL", FilterEdge(lambda p: False))
+        ost.stream.accumulate_final(TickRange(0, 10))  # filtered D -> F
+        assert ost.ack_prefix() == 10
+
+
+class TestTopologyInfo:
+    def make(self):
+        return BrokerTopologyInfo(
+            broker_id="b1",
+            cell="IB1",
+            neighbors=frozenset({"b2", "p1", "s1"}),
+            cell_of={"b1": "IB1", "b2": "IB1", "p1": "PHB", "s1": "SHB1"},
+            brokers_of_cell={"IB1": ("b1", "b2"), "PHB": ("p1",), "SHB1": ("s1",)},
+            routes={},
+        )
+
+    def test_peers_are_cell_internal_neighbors(self):
+        assert self.make().peers() == ("b2",)
+
+    def test_adjacent_in_cell(self):
+        info = self.make()
+        assert info.adjacent_in_cell("PHB") == ("p1",)
+        assert info.adjacent_in_cell("SHB1") == ("s1",)
+        assert info.adjacent_in_cell("ZZZ") == ()
+
+
+class TestEnvelope:
+    def test_wire_round_trip_plain(self):
+        env = Envelope(AckMessage("P", 100))
+        assert Envelope.from_wire(env.to_wire()) == env
+
+    def test_wire_round_trip_sideways(self):
+        msg = KnowledgeMessage(
+            pubend="P", fin_prefix=2, data=(DataTick(5, {"x": 1}),)
+        )
+        env = Envelope(msg, target_cell="SHB1", sideways=True)
+        decoded = Envelope.from_wire(env.to_wire())
+        assert decoded == env
+        assert decoded.target_cell == "SHB1"
+        assert decoded.sideways
+
+
+class TestLinkStatus:
+    def test_wire_round_trip(self):
+        status = LinkStatusMessage("b1", frozenset({"SHB1", "SHB2"}))
+        assert LinkStatusMessage.from_wire(status.to_wire()) == status

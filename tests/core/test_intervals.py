@@ -1,0 +1,212 @@
+"""Unit and property tests for the IntervalMap run-length structure.
+
+The property tests compare every operation against a naive dict model —
+the IntervalMap must be observationally identical while maintaining its
+coalescing invariants.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import IntervalMap
+from repro.core.ticks import TickRange
+
+UNIVERSE = 64  # model-check window
+
+
+class TestBasics:
+    def test_empty_map_returns_default(self):
+        m = IntervalMap(default="d")
+        assert m.get(0) == "d"
+        assert m.get(10**9) == "d"
+        assert not m
+        assert m.run_count() == 0
+        assert m.span() is None
+
+    def test_set_and_get(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(3, 7), 5)
+        assert m.get(2) == 0
+        assert m.get(3) == 5
+        assert m.get(6) == 5
+        assert m.get(7) == 0
+
+    def test_setting_default_clears(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(0, 10), 1)
+        m.set_range(TickRange(3, 6), 0)
+        assert m.run_count() == 2
+        assert m.get(4) == 0
+        m.check_invariants()
+
+    def test_adjacent_equal_runs_coalesce(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(0, 5), 1)
+        m.set_range(TickRange(5, 10), 1)
+        assert m.run_count() == 1
+        assert m.span() == TickRange(0, 10)
+        m.check_invariants()
+
+    def test_overwrite_splits_runs(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(0, 10), 1)
+        m.set_range(TickRange(4, 6), 2)
+        assert [(r.start, r.stop, v) for r, v in m.runs()] == [
+            (0, 4, 1),
+            (4, 6, 2),
+            (6, 10, 1),
+        ]
+        m.check_invariants()
+
+    def test_set_value_single_tick(self):
+        m = IntervalMap(default=0)
+        m.set_value(5, 9)
+        assert m.get(5) == 9
+        assert m.get(4) == 0
+
+    def test_clear_range(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(0, 10), 3)
+        m.clear_range(TickRange(0, 10))
+        assert not m
+
+    def test_combine_range_applies_fn(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(0, 4), 2)
+        m.combine_range(TickRange(2, 6), 10, lambda old, new: old + new)
+        assert m.get(1) == 2
+        assert m.get(3) == 12
+        assert m.get(5) == 10
+
+    def test_transform_range(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(0, 4), 2)
+        m.transform_range(TickRange(0, 8), lambda v: v * 3)
+        assert m.get(0) == 6
+        assert m.get(5) == 0  # 0 * 3 == default, dropped
+
+    def test_copy_is_independent(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(0, 4), 1)
+        clone = m.copy()
+        clone.set_range(TickRange(0, 4), 2)
+        assert m.get(0) == 1
+        assert clone.get(0) == 2
+
+
+class TestQueries:
+    def test_iter_runs_fills_gaps_with_default(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(2, 4), 1)
+        m.set_range(TickRange(6, 8), 2)
+        out = list(m.iter_runs(0, 10))
+        assert out == [
+            (TickRange(0, 2), 0),
+            (TickRange(2, 4), 1),
+            (TickRange(4, 6), 0),
+            (TickRange(6, 8), 2),
+            (TickRange(8, 10), 0),
+        ]
+
+    def test_iter_runs_empty_window(self):
+        m = IntervalMap(default=0)
+        assert list(m.iter_runs(5, 5)) == []
+
+    def test_iter_runs_partial_overlap(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(0, 10), 1)
+        assert list(m.iter_runs(3, 7)) == [(TickRange(3, 7), 1)]
+
+    def test_ranges_with_merges_contiguous_matches(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(0, 3), 1)
+        m.set_range(TickRange(3, 6), 2)
+        out = m.ranges_with(lambda v: v > 0, 0, 10)
+        assert out == [TickRange(0, 6)]
+
+    def test_first_with_finds_stored_value(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(5, 9), 7)
+        assert m.first_with(lambda v: v == 7, 0) == 5
+        assert m.first_with(lambda v: v == 7, 6) == 6
+        assert m.first_with(lambda v: v == 7, 9) is None
+
+    def test_first_with_default_beyond_runs(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(0, 5), 1)
+        assert m.first_with(lambda v: v == 0, 0) == 5
+
+    def test_first_with_respects_hi(self):
+        m = IntervalMap(default=0)
+        m.set_range(TickRange(5, 9), 7)
+        assert m.first_with(lambda v: v == 7, 0, 5) is None
+
+    def test_first_with_on_empty_map(self):
+        m = IntervalMap(default=0)
+        assert m.first_with(lambda v: v == 0, 3) == 3
+        assert m.first_with(lambda v: v == 1, 3) is None
+
+
+@st.composite
+def operations(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["set", "clear", "combine"]),
+                st.integers(0, UNIVERSE - 1),
+                st.integers(1, 16),
+                st.integers(0, 3),
+            ),
+            max_size=30,
+        )
+    )
+    return ops
+
+
+class TestModelEquivalence:
+    """IntervalMap must behave exactly like a dict over a window."""
+
+    @given(operations())
+    @settings(max_examples=200)
+    def test_matches_dict_model(self, ops):
+        m = IntervalMap(default=0)
+        model = {}
+        for kind, start, length, value in ops:
+            stop = min(start + length, UNIVERSE)
+            if stop <= start:
+                continue
+            rng = TickRange(start, stop)
+            if kind == "set":
+                m.set_range(rng, value)
+                for t in rng:
+                    model[t] = value
+            elif kind == "clear":
+                m.clear_range(rng)
+                for t in rng:
+                    model[t] = 0
+            else:
+                m.combine_range(rng, value, lambda a, b: max(a, b))
+                for t in rng:
+                    model[t] = max(model.get(t, 0), value)
+            m.check_invariants()
+        for t in range(UNIVERSE):
+            assert m.get(t) == model.get(t, 0), f"mismatch at {t}"
+
+    @given(operations(), st.integers(0, UNIVERSE), st.integers(0, UNIVERSE))
+    @settings(max_examples=100)
+    def test_iter_runs_partitions_window(self, ops, a, b):
+        lo, hi = min(a, b), max(a, b)
+        m = IntervalMap(default=0)
+        for kind, start, length, value in ops:
+            stop = min(start + length, UNIVERSE)
+            if stop > start:
+                m.set_range(TickRange(start, stop), value)
+        runs = list(m.iter_runs(lo, hi))
+        cursor = lo
+        for rng, value in runs:
+            assert rng.start == cursor
+            cursor = rng.stop
+            for t in rng:
+                assert m.get(t) == value
+        assert cursor == hi or (hi <= lo and not runs)

@@ -1,0 +1,188 @@
+"""Unit tests for the pubend: tick assignment, logging, silence, AET,
+retransmission, and crash recovery."""
+
+import pytest
+
+from repro.core.lattice import K
+from repro.core.pubend import Pubend
+from repro.core.ticks import TickRange
+from repro.storage.log import MemoryLog
+
+
+def make_pubend(**kw):
+    return Pubend("P", MemoryLog(), **kw)
+
+
+class TestTickAssignment:
+    def test_tick_at_or_after_now(self):
+        pb = make_pubend()
+        assert pb.assign_tick(1.5) >= 1500
+
+    def test_ticks_strictly_increase(self):
+        pb = make_pubend()
+        t1 = pb.publish("a", 1.0).data[0].tick
+        t2 = pb.publish("b", 1.0).data[0].tick  # same instant
+        assert t2 > t1
+
+    def test_slot_congruence(self):
+        pb = Pubend("P", MemoryLog(), slot=3, n_slots=4)
+        for i in range(5):
+            tick = pb.publish(f"m{i}", 1.0 + i * 0.0001).data[0].tick
+            assert tick % 4 == 3
+
+    def test_slot_validation(self):
+        with pytest.raises(ValueError):
+            Pubend("P", MemoryLog(), slot=4, n_slots=4)
+
+    def test_distinct_slots_never_collide(self):
+        a = Pubend("A", MemoryLog(), slot=0, n_slots=2)
+        b = Pubend("B", MemoryLog(), slot=1, n_slots=2)
+        ticks_a = {a.publish(i, 2.0).data[0].tick for i in range(20)}
+        ticks_b = {b.publish(i, 2.0).data[0].tick for i in range(20)}
+        assert not ticks_a & ticks_b
+
+
+class TestPublish:
+    def test_message_has_paper_form(self):
+        """F*Q*F*DF*Q*: final prefix + bracketing F + single D."""
+        pb = make_pubend()
+        pb.publish("a", 1.0)
+        msg = pb.publish("b", 2.0)
+        assert len(msg.data) == 1
+        tick = msg.data[0].tick
+        # The bracket finalizes everything between the two D ticks.
+        assert any(r.stop == tick for r in msg.f_ranges)
+
+    def test_publish_logs_before_returning(self):
+        log = MemoryLog()
+        pb = Pubend("P", log)
+        msg = pb.publish("hello", 1.0)
+        entries = log.entries("P")
+        assert len(entries) == 1
+        assert entries[0].tick == msg.data[0].tick
+        assert entries[0].payload == "hello"
+
+    def test_stream_form_is_prefix_then_data(self):
+        """Stream shape F* [D|F]* Q* from section 2.2."""
+        pb = make_pubend()
+        for i in range(3):
+            pb.publish(f"m{i}", 1.0 + 0.1 * i)
+        horizon = pb.stream.horizon()
+        seen_q = False
+        for t in range(horizon):
+            value = pb.stream.value_at(t)
+            assert value in (K.D, K.F)
+        assert pb.stream.value_at(horizon) == K.Q
+
+
+class TestSilence:
+    def test_no_silence_when_recent(self):
+        pb = make_pubend(silence_interval=0.5)
+        pb.publish("a", 1.0)
+        assert pb.maybe_silence(1.2) is None
+
+    def test_silence_finalizes_idle_range(self):
+        pb = make_pubend(silence_interval=0.5)
+        pb.publish("a", 1.0)
+        horizon = pb.stream.horizon()
+        msg = pb.maybe_silence(2.0)
+        assert msg is not None
+        assert msg.is_silence
+        assert msg.f_ranges == (TickRange(horizon, 2000),)
+        assert pb.stream.value_at(1800) == K.F
+
+    def test_publish_after_silence_never_collides(self):
+        pb = make_pubend(silence_interval=0.1)
+        pb.publish("a", 1.0)
+        pb.maybe_silence(2.0)
+        msg = pb.publish("b", 1.5)  # clock skew: "now" before silence end
+        assert msg.data[0].tick >= 2000
+
+
+class TestAckAndAet:
+    def test_record_ack_truncates_log(self):
+        log = MemoryLog()
+        pb = Pubend("P", log)
+        msg = pb.publish("a", 1.0)
+        tick = msg.data[0].tick
+        assert pb.record_ack(tick + 1)
+        assert log.entries("P") == []
+        assert log.truncated_below("P") == tick + 1
+        assert pb.stream.value_at(tick) == K.F
+
+    def test_record_ack_monotone(self):
+        pb = make_pubend()
+        pb.publish("a", 1.0)
+        assert pb.record_ack(500)
+        assert not pb.record_ack(400)
+
+    def test_aet_quiet_when_acked(self):
+        pb = make_pubend(aet=10.0)
+        msg = pb.publish("a", 1.0)
+        pb.record_ack(msg.data[0].tick + 1)
+        assert pb.ack_expected_tick(100.0) is None
+
+    def test_aet_fires_for_old_unacked(self):
+        pb = make_pubend(aet=10.0)
+        pb.publish("a", 1.0)
+        assert pb.ack_expected_tick(5.0) is None  # not old enough
+        threshold = pb.ack_expected_tick(20.0)
+        assert threshold is not None
+
+    def test_aet_capped_at_horizon(self):
+        """After recovery the probe carries the last logged tick, not
+        wall-clock time (paper Figure 8)."""
+        pb = make_pubend(aet=10.0)
+        pb.publish("a", 1.0)
+        horizon = pb.stream.horizon()
+        assert pb.ack_expected_tick(1000.0) == horizon
+
+
+class TestRetransmission:
+    def test_answers_d_and_f(self):
+        pb = make_pubend()
+        m1 = pb.publish("a", 1.0)
+        m2 = pb.publish("b", 2.0)
+        t1, t2 = m1.data[0].tick, m2.data[0].tick
+        out = pb.retransmission([TickRange(0, t2 + 1)])
+        assert out is not None
+        assert out.retransmit
+        assert [d.tick for d in out.data] == [t1, t2]
+        assert out.f_ranges  # the silent gaps
+
+    def test_unknown_future_stays_q(self):
+        pb = make_pubend()
+        pb.publish("a", 1.0)
+        horizon = pb.stream.horizon()
+        out = pb.retransmission([TickRange(horizon, horizon + 100)])
+        assert out is None
+
+
+class TestRecovery:
+    def test_recover_replays_log(self):
+        log = MemoryLog()
+        pb = Pubend("P", log)
+        ticks = [pb.publish(f"m{i}", 1.0 + i * 0.1).data[0].tick for i in range(5)]
+        fresh = Pubend("P", log)
+        assert fresh.recover() == 5
+        for tick, i in zip(ticks, range(5)):
+            assert fresh.stream.value_at(tick) == K.D
+            assert fresh.stream.payload_at(tick) == f"m{i}"
+        assert fresh.stream.horizon() == pb.stream.horizon()
+
+    def test_recover_respects_truncation(self):
+        log = MemoryLog()
+        pb = Pubend("P", log)
+        first = pb.publish("a", 1.0).data[0].tick
+        second = pb.publish("b", 2.0).data[0].tick
+        pb.record_ack(first + 1)
+        fresh = Pubend("P", log)
+        fresh.recover()
+        assert fresh.acked_up_to == first + 1
+        assert fresh.stream.value_at(first) == K.F
+        assert fresh.stream.value_at(second) == K.D
+
+    def test_recover_empty_log(self):
+        pb = Pubend("P", MemoryLog())
+        assert pb.recover() == 0
+        assert pb.stream.horizon() == 0

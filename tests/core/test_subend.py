@@ -1,0 +1,392 @@
+"""Unit tests for the subend: delivery order, doubt horizon, acks,
+GCT/NRT nacking, DCT, and AckExpected handling.
+
+Uses a hand-rolled fake services object with a manually advanced clock,
+so timer behaviour is tested without the full simulator.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import LivenessParams
+from repro.core.streams import Stream
+from repro.core.subend import SubendManager, SubendServices, Subscription
+from repro.core.ticks import TickRange
+
+
+class FakeTimer:
+    def __init__(self, when, fn):
+        self.when = when
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class FakeServices(SubendServices):
+    def __init__(self):
+        self.time = 0.0
+        self.timers = []
+        self.nacks = []  # (pubend, ranges)
+        self.acks = []  # (pubend, up_to)
+        self.deliveries = []  # (subscriber, pubend, tick, payload)
+
+    def now(self):
+        return self.time
+
+    def schedule(self, delay, fn):
+        timer = FakeTimer(self.time + delay, fn)
+        self.timers.append(timer)
+        return timer
+
+    def send_nack(self, pubend, ranges):
+        self.nacks.append((pubend, list(ranges)))
+
+    def send_ack(self, pubend, up_to):
+        self.acks.append((pubend, up_to))
+
+    def deliver(self, subscriber, pubend, tick, payload):
+        self.deliveries.append((subscriber, pubend, tick, payload))
+
+    def advance(self, dt):
+        """Advance the clock, firing due timers in order."""
+        deadline = self.time + dt
+        while True:
+            due = [t for t in self.timers if not t.cancelled and t.when <= deadline]
+            if not due:
+                break
+            due.sort(key=lambda t: t.when)
+            timer = due[0]
+            self.timers.remove(timer)
+            self.time = timer.when
+            timer.fn()
+        self.time = deadline
+
+
+PARAMS = LivenessParams(gct=0.2, nrt_min=0.6, dct=math.inf)
+
+
+def make_manager(pubends=("P",), params=PARAMS):
+    services = FakeServices()
+    manager = SubendManager(services, params)
+    streams = {}
+    for pubend in pubends:
+        stream = Stream()
+        streams[pubend] = stream
+        manager.attach_stream(pubend, stream)
+    return services, manager, streams
+
+
+class TestDelivery:
+    def test_in_order_delivery_below_horizon(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("alice", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_final(TickRange(0, 5))
+        s.accumulate_data(5, "m5")
+        manager.on_knowledge("P")
+        assert services.deliveries == [("alice", "P", 5, "m5")]
+
+    def test_gap_blocks_delivery(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("alice", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_final(TickRange(0, 5))
+        s.accumulate_data(5, "m5")
+        s.accumulate_data(9, "m9")  # gap at 6..8
+        manager.on_knowledge("P")
+        assert [d[2] for d in services.deliveries] == [5]
+        # gap resolves -> m9 released
+        s.accumulate_final(TickRange(6, 9))
+        manager.on_knowledge("P")
+        assert [d[2] for d in services.deliveries] == [5, 9]
+
+    def test_no_duplicate_delivery_on_redundant_knowledge(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("alice", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_final(TickRange(0, 5))
+        s.accumulate_data(5, "m5")
+        manager.on_knowledge("P")
+        manager.on_knowledge("P")  # same knowledge again
+        assert len(services.deliveries) == 1
+
+    def test_predicate_filters_delivery(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(
+            Subscription("alice", predicate=lambda p: p == "yes", pubends=("P",))
+        )
+        s = streams["P"]
+        s.accumulate_final(TickRange(0, 3))
+        s.accumulate_data(3, "no")
+        s.accumulate_final(TickRange(4, 6))
+        s.accumulate_data(6, "yes")
+        manager.on_knowledge("P")
+        assert services.deliveries == [("alice", "P", 6, "yes")]
+
+    def test_multiple_subscribers_share_stream(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        manager.subscribe(Subscription("b", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_final(TickRange(0, 2))
+        s.accumulate_data(2, "m")
+        manager.on_knowledge("P")
+        assert {d[0] for d in services.deliveries} == {"a", "b"}
+
+    def test_unsubscribe_stops_delivery(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        manager.unsubscribe("a")
+        s = streams["P"]
+        s.accumulate_final(TickRange(0, 2))
+        s.accumulate_data(2, "m")
+        manager.on_knowledge("P")
+        assert services.deliveries == []
+
+    def test_subscribe_requires_attached_stream(self):
+        __, manager, __s = make_manager()
+        with pytest.raises(KeyError):
+            manager.subscribe(Subscription("a", pubends=("UNKNOWN",)))
+
+
+class TestTotalOrder:
+    def test_merged_delivery_waits_for_all_inputs(self):
+        services, manager, streams = make_manager(pubends=("A", "B"))
+        manager.subscribe(Subscription("t", pubends=("A", "B"), total_order=True))
+        a, b = streams["A"], streams["B"]
+        a.accumulate_final(TickRange(0, 4))
+        a.accumulate_data(4, "a4")
+        manager.on_knowledge("A")
+        # B is still all-Q: nothing can be delivered in total order.
+        assert services.deliveries == []
+        b.accumulate_final(TickRange(0, 10))
+        manager.on_knowledge("B")
+        assert services.deliveries == [("t", "A", 4, "a4")]
+
+    def test_merged_interleaving_by_tick(self):
+        services, manager, streams = make_manager(pubends=("A", "B"))
+        manager.subscribe(Subscription("t", pubends=("A", "B"), total_order=True))
+        a, b = streams["A"], streams["B"]
+        a.accumulate_final(TickRange(0, 2))
+        a.accumulate_data(2, "a2")
+        a.accumulate_final(TickRange(3, 9))
+        b.accumulate_final(TickRange(0, 5))
+        b.accumulate_data(5, "b5")
+        b.accumulate_final(TickRange(6, 9))
+        a.accumulate_data(9, "a9")
+        manager.on_knowledge("A")
+        manager.on_knowledge("B")
+        assert [(d[2], d[3]) for d in services.deliveries] == [
+            (2, "a2"),
+            (5, "b5"),
+            (9, "a9"),
+        ]
+
+    def test_two_total_order_subscribers_see_same_sequence(self):
+        services, manager, streams = make_manager(pubends=("A", "B"))
+        manager.subscribe(Subscription("t1", pubends=("A", "B"), total_order=True))
+        manager.subscribe(Subscription("t2", pubends=("A", "B"), total_order=True))
+        a, b = streams["A"], streams["B"]
+        a.accumulate_final(TickRange(0, 3))
+        a.accumulate_data(3, "x")
+        b.accumulate_final(TickRange(0, 8))
+        manager.on_knowledge("A")
+        manager.on_knowledge("B")
+        t1 = [(d[2], d[3]) for d in services.deliveries if d[0] == "t1"]
+        t2 = [(d[2], d[3]) for d in services.deliveries if d[0] == "t2"]
+        assert t1 == t2 == [(3, "x")]
+
+    def test_ack_waits_for_merge_consumption(self):
+        """A pubend may not be acked (and GC'd) past the merged horizon."""
+        services, manager, streams = make_manager(pubends=("A", "B"))
+        manager.subscribe(Subscription("t", pubends=("A", "B"), total_order=True))
+        a, b = streams["A"], streams["B"]
+        a.accumulate_final(TickRange(0, 4))
+        a.accumulate_data(4, "a4")
+        a.accumulate_final(TickRange(5, 20))
+        manager.on_knowledge("A")
+        # B has consumed nothing: no ack for A beyond 0.
+        assert all(up == 0 for (p, up) in services.acks if p == "A") or not [
+            x for x in services.acks if x[0] == "A"
+        ]
+        b.accumulate_final(TickRange(0, 20))
+        manager.on_knowledge("B")
+        assert ("A", 20) in services.acks or ("A", 21) in services.acks
+
+
+class TestAcks:
+    def test_ack_after_delivery(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_final(TickRange(0, 5))
+        s.accumulate_data(5, "m")
+        manager.on_knowledge("P")
+        assert services.acks == [("P", 6)]
+
+    def test_ack_is_monotone(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_final(TickRange(0, 5))
+        manager.on_knowledge("P")
+        s.accumulate_final(TickRange(5, 10))
+        manager.on_knowledge("P")
+        ups = [u for (__, u) in services.acks]
+        assert ups == sorted(ups)
+
+    def test_ack_garbage_collects_payloads(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_final(TickRange(0, 5))
+        s.accumulate_data(5, "m")
+        manager.on_knowledge("P")
+        assert not s.knowledge.has_payload(5)  # finalized after ack
+
+
+class TestGapCuriosity:
+    def test_gct_then_nack(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_final(TickRange(0, 100))
+        s.accumulate_data(100, "m")
+        manager.on_knowledge("P")
+        s.accumulate_data(200, "n")  # gap 101..199
+        manager.on_knowledge("P")
+        assert services.nacks == []  # GCT not expired yet
+        services.advance(0.25)  # > GCT=0.2
+        assert services.nacks
+        ranges = [r for (__, rs) in services.nacks for r in rs]
+        assert TickRange(101, 200) in ranges
+
+    def test_gap_resolved_before_gct_sends_nothing(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_final(TickRange(0, 100))
+        s.accumulate_data(100, "m")
+        s.accumulate_data(200, "n")
+        manager.on_knowledge("P")
+        s.accumulate_final(TickRange(101, 200))  # gap filled quickly
+        manager.on_knowledge("P")
+        services.advance(0.5)
+        assert services.nacks == []
+
+    def test_nack_chopping(self):
+        params = PARAMS.with_(nack_chop=50)
+        services, manager, streams = make_manager(params=params)
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_data(0, "m")
+        s.accumulate_data(200, "n")  # 199-tick gap
+        manager.on_knowledge("P")
+        services.advance(0.25)
+        assert len(services.nacks) == 4  # 199 ticks / 50 per nack
+        total = sum(len(r) for (__, rs) in services.nacks for r in rs)
+        assert total == 199
+
+    def test_nrt_repetition_until_satisfied(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_data(0, "m")
+        s.accumulate_data(100, "n")
+        manager.on_knowledge("P")
+        services.advance(0.25)
+        first_count = len(services.nacks)
+        assert first_count >= 1
+        services.advance(1.0)  # NRT >= 0.6 elapses unanswered
+        assert len(services.nacks) > first_count
+        # satisfy the gap: repetitions stop
+        s.accumulate_final(TickRange(1, 100))
+        manager.on_knowledge("P")
+        settled = len(services.nacks)
+        services.advance(5.0)
+        assert len(services.nacks) == settled
+
+    def test_no_duplicate_tracking_of_same_gap(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_data(0, "m")
+        s.accumulate_data(100, "n")
+        manager.on_knowledge("P")
+        manager.on_knowledge("P")
+        manager.on_knowledge("P")
+        services.advance(0.25)
+        ticks = sum(len(r) for (__, rs) in services.nacks for r in rs)
+        assert ticks == 99  # gap nacked once, not three times
+
+
+class TestAckExpected:
+    def test_probes_trigger_immediate_nacks(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        # The subend knows nothing; the pubend expects acks up to 500.
+        manager.on_ack_expected("P", 500)
+        assert services.nacks
+        total = sum(len(r) for (__, rs) in services.nacks for r in rs)
+        assert total == 500
+
+    def test_probe_skips_known_ticks(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_final(TickRange(0, 400))
+        manager.on_knowledge("P")
+        manager.on_ack_expected("P", 500)
+        total = sum(len(r) for (__, rs) in services.nacks for r in rs)
+        assert total == 100  # only 400..499
+
+    def test_probe_for_unknown_pubend_ignored(self):
+        services, manager, __ = make_manager()
+        manager.on_ack_expected("ZZZ", 100)
+        assert services.nacks == []
+
+    def test_probe_overrides_repetition_backoff(self):
+        """Paper 3.2: a probe means 'immediately nack' — even for a gap
+        whose own repetitions have exponentially backed off (the backoff
+        exists for *down* pubends; the probe proves this one is alive)."""
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        s = streams["P"]
+        s.accumulate_data(0, "m")
+        s.accumulate_data(100, "n")  # gap 1..99
+        manager.on_knowledge("P")
+        services.advance(0.25)  # GCT fires, nack sent
+        # Let several unanswered repetitions back the record off.
+        services.advance(10.0)
+        count_backed_off = len(services.nacks)
+        # A long quiet stretch: the next repetition is far in the future.
+        services.advance(1.0)
+        assert len(services.nacks) == count_backed_off
+        manager.on_ack_expected("P", 100)
+        assert len(services.nacks) > count_backed_off  # re-nacked NOW
+        # And the new record repeats on the fresh (minimum) interval.
+        before = len(services.nacks)
+        services.advance(0.8)
+        assert len(services.nacks) > before
+
+
+class TestDct:
+    def test_dct_disabled_by_default(self):
+        services, manager, streams = make_manager()
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        services.time = 100.0
+        manager.on_periodic()
+        assert services.nacks == []
+
+    def test_dct_nacks_when_horizon_trails(self):
+        params = PARAMS.with_(dct=1.0)
+        services, manager, streams = make_manager(params=params)
+        manager.subscribe(Subscription("a", pubends=("P",)))
+        services.time = 5.0
+        manager.on_periodic()
+        assert services.nacks
+        hi = max(r.stop for (__, rs) in services.nacks for r in rs)
+        assert hi == 4000  # now - DCT in ticks

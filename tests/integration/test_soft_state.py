@@ -1,0 +1,122 @@
+"""Soft-state boundedness: the protocol's memory claim.
+
+"[Our protocol] requires persistent storage only at the publishing site
+... and maintains only soft state at intermediate nodes."  Soft state is
+only viable if acknowledgement-driven garbage collection keeps it *small*:
+a long-running broker must not accumulate per-message state.  These tests
+run long simulated sessions and assert, via the engine stats API, that
+every stream's run-length footprint and payload count stay bounded and
+that the pubend log is continuously truncated.
+"""
+
+import pytest
+
+from repro import LivenessParams
+from repro.topology import balanced_pubend_names, figure3_topology, two_broker_topology
+
+
+def long_run(duration=60.0, rate=50.0):
+    topo = two_broker_topology()
+    topo.pubend("P0", "phb")
+    topo.route("P0", "PHB", "SHB")
+    system = topo.build(
+        seed=3, params=LivenessParams(gct=0.1, nrt_min=0.3), log_commit_latency=0.01
+    )
+    system.subscribe("a", "shb", ("P0",))
+    pub = system.publisher("P0", rate=rate)
+    pub.start(at=0.1)
+    system.run_until(duration)
+    return system, pub
+
+
+class TestBoundedness:
+    def test_stream_runs_stay_small_over_long_sessions(self):
+        system, pub = long_run(duration=60.0)
+        assert len(pub.published) > 2500  # a genuinely long session
+        for broker_id in ("phb", "shb"):
+            stats = system.brokers[broker_id].engine.stats()
+            for pubend, entry in stats["streams"].items():
+                # Run-length state: an F prefix, the working window, Q tail.
+                assert entry["istream_runs"] < 30, (broker_id, entry)
+                assert entry["curiosity_runs"] < 30, (broker_id, entry)
+                # Payloads: only the not-yet-acked working window.
+                assert entry["istream_payloads"] < 100, (broker_id, entry)
+
+    def test_log_is_continuously_truncated(self):
+        system, pub = long_run(duration=60.0)
+        stats = system.brokers["phb"].engine.stats()
+        live_entries = stats["log_entries"]["P0"]
+        assert live_entries < 100  # not the ~3000 published
+        log = system.brokers["phb"].engine.pubends["P0"].log
+        assert log.truncated_below("P0") > 0.9 * 60_000
+
+    def test_footprint_is_flat_not_growing(self):
+        """Sample the footprint twice, far apart: no upward trend."""
+        topo = two_broker_topology()
+        topo.pubend("P0", "phb")
+        topo.route("P0", "PHB", "SHB")
+        system = topo.build(
+            seed=3,
+            params=LivenessParams(gct=0.1, nrt_min=0.3),
+            log_commit_latency=0.01,
+        )
+        system.subscribe("a", "shb", ("P0",))
+        pub = system.publisher("P0", rate=50.0)
+        pub.start(at=0.1)
+        system.run_until(15.0)
+        early = system.brokers["shb"].engine.stats()["streams"]["P0"]
+        system.run_until(75.0)
+        late = system.brokers["shb"].engine.stats()["streams"]["P0"]
+        assert late["istream_runs"] <= early["istream_runs"] + 10
+        assert late["istream_payloads"] <= early["istream_payloads"] + 20
+
+    def test_bounded_under_loss(self):
+        """Retransmission traffic must not leak state either."""
+        topo = two_broker_topology()
+        topo.pubend("P0", "phb")
+        topo.route("P0", "PHB", "SHB")
+        system = topo.build(
+            seed=9,
+            params=LivenessParams(gct=0.1, nrt_min=0.3),
+            log_commit_latency=0.01,
+        )
+        system.network.link("phb", "shb").drop_probability = 0.1
+        system.subscribe("a", "shb", ("P0",))
+        pub = system.publisher("P0", rate=50.0)
+        pub.start(at=0.1)
+        system.run_until(45.0)
+        pub.stop()
+        system.run_until(60.0)
+        for broker_id in ("phb", "shb"):
+            stats = system.brokers[broker_id].engine.stats()
+            entry = stats["streams"]["P0"]
+            assert entry["istream_runs"] < 40, (broker_id, entry)
+            assert entry["istream_payloads"] < 120, (broker_id, entry)
+
+    def test_figure3_brokers_bounded(self):
+        names = balanced_pubend_names(2)
+        system = figure3_topology(n_pubends=2, pubend_names=names).build(
+            seed=7, params=LivenessParams(gct=0.1, nrt_min=0.3)
+        )
+        for shb in ("s1", "s3"):
+            system.subscribe(f"sub_{shb}", shb, tuple(names))
+        pubs = [system.publisher(n, rate=25.0) for n in names]
+        for pub in pubs:
+            pub.start(at=0.2)
+        system.run_until(40.0)
+        for broker_id in ("p1", "b1", "b2", "b3", "s1"):
+            stats = system.brokers[broker_id].engine.stats()
+            for pubend, entry in stats["streams"].items():
+                assert entry["istream_payloads"] < 150, (broker_id, pubend, entry)
+                assert entry["istream_runs"] < 40, (broker_id, pubend, entry)
+
+
+class TestStatsApi:
+    def test_snapshot_shape(self):
+        system, __ = long_run(duration=5.0)
+        stats = system.brokers["phb"].engine.stats()
+        assert stats["broker"] == "phb"
+        assert stats["pubends_hosted"] == ["P0"]
+        assert "P0" in stats["streams"]
+        assert "SHB" in stats["streams"]["P0"]["ostreams"]
+        assert stats["streams"]["P0"]["ostreams"]["SHB"]["ack_prefix"] > 0

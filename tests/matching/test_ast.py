@@ -1,0 +1,157 @@
+"""Unit tests for the predicate AST."""
+
+import pytest
+
+from repro.matching.ast import (
+    And,
+    Comparison,
+    Exists,
+    FalseP,
+    Not,
+    Or,
+    TrueP,
+    conjoin,
+    disjoin,
+)
+from repro.matching.events import Event
+
+
+EVENT = Event({"Loc": "NY", "p": 5, "active": True, "name": "trade"})
+
+
+class TestComparison:
+    def test_equality(self):
+        assert Comparison("Loc", "=", "NY").evaluate(EVENT)
+        assert not Comparison("Loc", "=", "SF").evaluate(EVENT)
+
+    def test_inequality(self):
+        assert Comparison("Loc", "!=", "SF").evaluate(EVENT)
+        assert not Comparison("Loc", "!=", "NY").evaluate(EVENT)
+
+    def test_ordering(self):
+        assert Comparison("p", ">", 3).evaluate(EVENT)
+        assert Comparison("p", ">=", 5).evaluate(EVENT)
+        assert Comparison("p", "<", 6).evaluate(EVENT)
+        assert Comparison("p", "<=", 5).evaluate(EVENT)
+        assert not Comparison("p", ">", 5).evaluate(EVENT)
+
+    def test_missing_attribute_is_false(self):
+        assert not Comparison("volume", ">", 0).evaluate(EVENT)
+        assert not Comparison("volume", "=", 0).evaluate(EVENT)
+        assert not Comparison("volume", "!=", 0).evaluate(EVENT)
+
+    def test_type_mismatch_is_false(self):
+        assert not Comparison("Loc", ">", 3).evaluate(EVENT)
+        assert not Comparison("p", "=", "5").evaluate(EVENT)
+
+    def test_bool_does_not_equal_int(self):
+        assert Comparison("active", "=", True).evaluate(EVENT)
+        assert not Comparison("active", "=", 1).evaluate(EVENT)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("p", "~", 3)
+
+    def test_string_ordering(self):
+        assert Comparison("name", ">", "apple").evaluate(EVENT)
+
+
+class TestConnectives:
+    def test_exists(self):
+        assert Exists("Loc").evaluate(EVENT)
+        assert not Exists("volume").evaluate(EVENT)
+
+    def test_and(self):
+        pred = And((Comparison("Loc", "=", "NY"), Comparison("p", ">", 3)))
+        assert pred.evaluate(EVENT)
+        pred2 = And((Comparison("Loc", "=", "NY"), Comparison("p", ">", 10)))
+        assert not pred2.evaluate(EVENT)
+
+    def test_and_requires_two_terms(self):
+        with pytest.raises(ValueError):
+            And((TrueP(),))
+
+    def test_or(self):
+        pred = Or((Comparison("Loc", "=", "SF"), Comparison("p", ">", 3)))
+        assert pred.evaluate(EVENT)
+
+    def test_not(self):
+        assert Not(Comparison("Loc", "=", "SF")).evaluate(EVENT)
+        assert not Not(TrueP()).evaluate(EVENT)
+
+    def test_constants(self):
+        assert TrueP().evaluate(EVENT)
+        assert not FalseP().evaluate(EVENT)
+
+    def test_attributes_collected(self):
+        pred = And((Comparison("a", "=", 1), Or((Exists("b"), Comparison("c", "<", 2)))))
+        assert pred.attributes() == {"a", "b", "c"}
+
+    def test_callable_interface_rejects_non_mapping(self):
+        assert not Comparison("p", ">", 0)("a string payload")
+
+    def test_callable_interface_accepts_event_and_dict(self):
+        pred = Comparison("p", ">", 3)
+        assert pred(EVENT)
+        assert pred({"p": 4})
+
+
+class TestComposition:
+    def test_conjoin_flattens(self):
+        pred = conjoin(
+            Comparison("a", "=", 1),
+            And((Comparison("b", "=", 2), Comparison("c", "=", 3))),
+        )
+        assert isinstance(pred, And)
+        assert len(pred.terms) == 3
+
+    def test_conjoin_drops_true(self):
+        pred = conjoin(TrueP(), Comparison("a", "=", 1))
+        assert pred == Comparison("a", "=", 1)
+
+    def test_conjoin_short_circuits_false(self):
+        assert conjoin(Comparison("a", "=", 1), FalseP()) == FalseP()
+
+    def test_conjoin_empty_is_true(self):
+        assert conjoin() == TrueP()
+
+    def test_disjoin_flattens(self):
+        pred = disjoin(
+            Comparison("a", "=", 1),
+            Or((Comparison("b", "=", 2), Comparison("c", "=", 3))),
+        )
+        assert isinstance(pred, Or)
+        assert len(pred.terms) == 3
+
+    def test_disjoin_short_circuits_true(self):
+        assert disjoin(FalseP(), TrueP()) == TrueP()
+
+    def test_disjoin_empty_is_false(self):
+        assert disjoin() == FalseP()
+
+    def test_path_predicate_semantics(self):
+        """Section 2.3: subscription = OR over paths of AND along path."""
+        path1 = conjoin(Comparison("Loc", "=", "NY"), Comparison("p", ">", 3))
+        path2 = conjoin(Comparison("Loc", "=", "SF"), Comparison("p", ">", 3))
+        subscription = disjoin(path1, path2)
+        assert subscription.evaluate(EVENT)
+        assert not subscription.evaluate(Event({"Loc": "LA", "p": 5}))
+
+
+class TestStringRoundTrip:
+    def test_str_parses_back(self):
+        from repro.matching.parser import parse
+
+        predicates = [
+            Comparison("p", ">", 3),
+            Comparison("Loc", "=", "NY"),
+            Comparison("s", "=", "it''s"),
+            And((Comparison("a", "=", 1), Comparison("b", "<=", 2.5))),
+            Or((Comparison("a", "=", 1), Comparison("b", "!=", True))),
+            Not(Comparison("a", "=", 1)),
+            Exists("x"),
+            TrueP(),
+            FalseP(),
+        ]
+        for predicate in predicates:
+            assert parse(str(predicate)) == predicate, str(predicate)

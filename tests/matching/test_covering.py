@@ -1,0 +1,162 @@
+"""Tests for predicate covering and subscription summarization, including
+the soundness property: covers(g, s) implies g matches whenever s does."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.ast import (
+    And,
+    Comparison,
+    Exists,
+    FalseP,
+    Not,
+    Or,
+    TrueP,
+    predicate_from_wire,
+    predicate_to_wire,
+)
+from repro.matching.covering import covers, summarize_subscriptions
+from repro.matching.events import Event
+from repro.matching.parser import parse
+
+
+class TestCovers:
+    @pytest.mark.parametrize(
+        "general,specific",
+        [
+            ("true", "a = 1"),
+            ("a > 5", "a > 10"),
+            ("a > 5", "a >= 6"),
+            ("a >= 5", "a > 5"),
+            ("a < 10", "a < 5"),
+            ("a <= 10", "a = 7"),
+            ("a > 5", "a = 7"),
+            ("a != 3", "a = 4"),
+            ("a != 3", "a > 3"),
+            ("a != 3", "a < 3"),
+            ("exists a", "a = 1"),
+            ("exists a", "a > 0"),
+            ("a = 1", "a = 1 and b = 2"),
+            ("a = 1 and b = 2", "b = 2 and a = 1 and c = 3"),
+            ("a = 1 or b = 2", "b = 2"),
+            ("sym = 'IBM'", "sym = 'IBM' and price > 100"),
+            ("a = 1 or b = 2", "a = 1 and c = 9"),
+        ],
+    )
+    def test_positive_cases(self, general, specific):
+        assert covers(parse(general), parse(specific))
+
+    @pytest.mark.parametrize(
+        "general,specific",
+        [
+            ("a = 1", "true"),
+            ("a > 10", "a > 5"),
+            ("a = 1", "a = 2"),
+            ("a = 1", "b = 1"),
+            ("a = 1 and b = 2", "a = 1"),
+            ("a != 3", "a != 4"),
+            ("a > 5", "a != 3"),
+            ("exists a", "b = 1"),
+            ("a = 1", "a = 1 or b = 2"),
+            ("a = 1", "a = true"),  # bool vs int type fidelity
+        ],
+    )
+    def test_negative_cases(self, general, specific):
+        assert not covers(parse(general), parse(specific))
+
+    def test_false_is_covered_by_anything(self):
+        assert covers(parse("a = 1"), FalseP())
+
+    def test_unsupported_shapes_fall_back_to_equality(self):
+        negation = Not(Comparison("a", "=", 1))
+        assert covers(negation, negation)
+        assert not covers(negation, parse("a = 2"))
+
+
+# --- soundness property: covers => implication on all events -------------------
+
+attr_names = st.sampled_from(["a", "b"])
+scalar = st.one_of(st.integers(-3, 3), st.sampled_from(["x", "y"]))
+comparison = st.builds(
+    Comparison,
+    attr=attr_names,
+    op=st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+    value=scalar,
+)
+leaf = st.one_of(comparison, st.builds(Exists, attr=attr_names), st.just(TrueP()))
+conjunction = st.one_of(
+    leaf,
+    st.builds(lambda a, b: And((a, b)), leaf, leaf),
+    st.builds(lambda a, b, c: And((a, b, c)), leaf, leaf, leaf),
+)
+predicates = st.one_of(
+    conjunction, st.builds(lambda a, b: Or((a, b)), conjunction, conjunction)
+)
+events = st.dictionaries(attr_names, scalar, max_size=2).map(Event)
+
+
+class TestSoundness:
+    @given(predicates, predicates, st.lists(events, max_size=10))
+    @settings(max_examples=400, deadline=None)
+    def test_covers_implies_implication(self, general, specific, evts):
+        if covers(general, specific):
+            for event in evts:
+                if specific.evaluate(event):
+                    assert general.evaluate(event), (general, specific, event)
+
+
+class TestSummarize:
+    def test_empty_population(self):
+        assert summarize_subscriptions([]) == FalseP()
+
+    def test_covered_members_dropped(self):
+        summary = summarize_subscriptions(
+            [parse("a > 5"), parse("a > 10"), parse("a = 7")]
+        )
+        assert summary == parse("a > 5")
+
+    def test_true_absorbs_everything(self):
+        summary = summarize_subscriptions([parse("a = 1"), TrueP()])
+        assert summary == TrueP()
+
+    def test_union_of_disjoint(self):
+        summary = summarize_subscriptions([parse("a = 1"), parse("a = 2")])
+        assert summary.evaluate({"a": 1})
+        assert summary.evaluate({"a": 2})
+        assert not summary.evaluate({"a": 3})
+
+    def test_later_broad_predicate_evicts_earlier(self):
+        summary = summarize_subscriptions([parse("a > 10"), parse("a > 5")])
+        assert summary == parse("a > 5")
+
+    def test_size_cap_falls_back_to_match_all(self):
+        population = [parse(f"g = {i}") for i in range(100)]
+        summary = summarize_subscriptions(population, max_terms=10)
+        assert summary == TrueP()
+
+    def test_summary_never_loses_a_match(self):
+        population = [parse("a = 1 and b = 2"), parse("a = 3"), parse("b > 9")]
+        summary = summarize_subscriptions(population)
+        for attrs in ({"a": 1, "b": 2}, {"a": 3}, {"b": 10}, {"a": 3, "b": 0}):
+            event = Event(attrs)
+            if any(p.evaluate(event) for p in population):
+                assert summary.evaluate(event), attrs
+
+
+class TestPredicateWire:
+    @given(predicates)
+    @settings(max_examples=200)
+    def test_round_trip(self, predicate):
+        import json
+
+        wire = json.loads(json.dumps(predicate_to_wire(predicate)))
+        assert predicate_from_wire(wire) == predicate
+
+    def test_not_round_trip(self):
+        predicate = Not(Or((Comparison("a", "=", 1), Exists("b"))))
+        assert predicate_from_wire(predicate_to_wire(predicate)) == predicate
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            predicate_from_wire(["quantum"])

@@ -1,0 +1,63 @@
+"""Unit tests for the event model."""
+
+import pytest
+
+from repro.matching.events import Event
+
+
+class TestEvent:
+    def test_mapping_interface(self):
+        e = Event({"a": 1, "b": "x"})
+        assert e["a"] == 1
+        assert "b" in e
+        assert "c" not in e
+        assert len(e) == 2
+        assert set(e) == {"a", "b"}
+
+    def test_get_attr(self):
+        e = Event({"a": 1})
+        assert e.get_attr("a") == 1
+        assert e.get_attr("zz") is None
+
+    def test_rejects_bad_attribute_types(self):
+        with pytest.raises(TypeError):
+            Event({"a": [1, 2]})
+        with pytest.raises(TypeError):
+            Event({1: "x"})
+
+    def test_equality_and_hash(self):
+        a = Event({"x": 1}, body="b")
+        b = Event({"x": 1}, body="b")
+        c = Event({"x": 2}, body="b")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not an event"
+
+    def test_body(self):
+        assert Event({}, body="payload").body == "payload"
+        assert Event({}).body is None
+
+    def test_wire_round_trip(self):
+        e = Event({"a": 1, "f": 2.5, "s": "x", "b": True}, body="data")
+        assert Event.from_wire(e.to_wire()) == e
+
+    def test_wire_without_body(self):
+        e = Event({"a": 1})
+        wire = e.to_wire()
+        assert "b" not in wire
+        assert Event.from_wire(wire) == e
+
+    def test_coerce(self):
+        e = Event({"a": 1})
+        assert Event.coerce(e) is e
+        assert Event.coerce({"a": 1}) == e
+        assert Event.coerce(e.to_wire()) == e
+        assert Event.coerce("raw") is None
+        assert Event.coerce({"a": [1]}) is None
+
+    def test_immutability_of_source_dict(self):
+        source = {"a": 1}
+        e = Event(source)
+        source["a"] = 99
+        assert e["a"] == 1

@@ -1,0 +1,99 @@
+"""Unit tests for the subscription language parser."""
+
+import pytest
+
+from repro.matching.ast import And, Comparison, Exists, FalseP, Not, Or, TrueP
+from repro.matching.parser import ParseError, parse
+
+
+class TestAtoms:
+    def test_equality(self):
+        assert parse("Loc = 'NY'") == Comparison("Loc", "=", "NY")
+
+    def test_numbers(self):
+        assert parse("p > 3") == Comparison("p", ">", 3)
+        assert parse("p <= 2.5") == Comparison("p", "<=", 2.5)
+        assert parse("p < -4") == Comparison("p", "<", -4)
+        assert parse("p = 1e3") == Comparison("p", "=", 1000.0)
+
+    def test_booleans(self):
+        assert parse("flag = true") == Comparison("flag", "=", True)
+        assert parse("flag != false") == Comparison("flag", "!=", False)
+
+    def test_string_escaping(self):
+        assert parse("s = 'it''s'") == Comparison("s", "=", "it's")
+
+    def test_exists(self):
+        assert parse("exists volume") == Exists("volume")
+
+    def test_constants(self):
+        assert parse("true") == TrueP()
+        assert parse("false") == FalseP()
+
+    def test_empty_is_match_all(self):
+        assert parse("") == TrueP()
+        assert parse("   ") == TrueP()
+
+    def test_dotted_identifiers(self):
+        assert parse("order.price > 10") == Comparison("order.price", ">", 10)
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        pred = parse("a = 1 or b = 2 and c = 3")
+        assert isinstance(pred, Or)
+        assert pred.terms[0] == Comparison("a", "=", 1)
+        assert isinstance(pred.terms[1], And)
+
+    def test_parentheses_override(self):
+        pred = parse("(a = 1 or b = 2) and c = 3")
+        assert isinstance(pred, And)
+        assert isinstance(pred.terms[0], Or)
+
+    def test_not_binds_tightest(self):
+        pred = parse("not a = 1 and b = 2")
+        assert isinstance(pred, And)
+        assert isinstance(pred.terms[0], Not)
+
+    def test_nested_not(self):
+        pred = parse("not not a = 1")
+        assert pred == Not(Not(Comparison("a", "=", 1)))
+
+    def test_keywords_case_insensitive(self):
+        assert parse("a = 1 AND b = 2") == parse("a = 1 and b = 2")
+        assert parse("NOT a = 1") == parse("not a = 1")
+
+    def test_paper_example(self):
+        """Figure 1's subscription: Loc = 'NY' and p > 3."""
+        pred = parse("Loc = 'NY' and p > 3")
+        assert pred.evaluate({"Loc": "NY", "p": 4})
+        assert not pred.evaluate({"Loc": "NY", "p": 3})
+        assert not pred.evaluate({"Loc": "SF", "p": 4})
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a =",
+            "= 3",
+            "a = 1 and",
+            "(a = 1",
+            "a = 1)",
+            "a ~ 1",
+            "a = 'unterminated",
+            "exists",
+            "a = 1 b = 2",
+        ],
+    )
+    def test_bad_input_raises(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse("a = 1 and ???")
+        except ParseError as exc:
+            assert exc.position > 0
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

@@ -1,0 +1,94 @@
+"""Unit tests for the work-unit CPU model."""
+
+import pytest
+
+from repro.metrics.cpu import CostModel, CpuAccountant
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestCpuAccountant:
+    def test_charge_accumulates_busy_time(self):
+        clock = FakeClock()
+        acct = CpuAccountant(clock)
+        acct.charge(0.5)
+        acct.charge(0.25)
+        assert acct.busy_time == pytest.approx(0.75)
+
+    def test_charge_returns_completion_time(self):
+        clock = FakeClock()
+        acct = CpuAccountant(clock)
+        assert acct.charge(0.5) == pytest.approx(0.5)
+        # second charge queues behind the first
+        assert acct.charge(0.5) == pytest.approx(1.0)
+
+    def test_idle_gap_resets_queue(self):
+        clock = FakeClock()
+        acct = CpuAccountant(clock)
+        acct.charge(0.1)
+        clock.t = 10.0
+        assert acct.charge(0.1) == pytest.approx(10.1)
+
+    def test_queue_delay(self):
+        clock = FakeClock()
+        acct = CpuAccountant(clock)
+        acct.charge(2.0)
+        assert acct.queue_delay() == pytest.approx(2.0)
+        clock.t = 1.0
+        assert acct.queue_delay() == pytest.approx(1.0)
+        clock.t = 5.0
+        assert acct.queue_delay() == 0.0
+
+    def test_capacity_scales_service(self):
+        clock = FakeClock()
+        acct = CpuAccountant(clock, capacity=2.0)
+        assert acct.charge(1.0) == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CpuAccountant(FakeClock(), capacity=0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CpuAccountant(FakeClock()).charge(-1)
+
+    def test_utilization_window(self):
+        clock = FakeClock()
+        acct = CpuAccountant(clock)
+        clock.t = 10.0
+        acct.reset_window()
+        acct.charge(1.0)
+        clock.t = 14.0
+        assert acct.utilization() == pytest.approx(0.25)
+
+    def test_utilization_capped_at_one(self):
+        clock = FakeClock()
+        acct = CpuAccountant(clock)
+        acct.reset_window()
+        acct.charge(100.0)
+        clock.t = 1.0
+        assert acct.utilization() == 1.0
+
+    def test_by_category(self):
+        clock = FakeClock()
+        acct = CpuAccountant(clock)
+        acct.charge(0.1, "log")
+        acct.charge(0.2, "log")
+        acct.charge(0.3, "send")
+        cats = acct.by_category()
+        assert cats["log"] == pytest.approx(0.3)
+        assert cats["send"] == pytest.approx(0.3)
+
+
+class TestCostModel:
+    def test_defaults_are_positive(self):
+        model = CostModel()
+        assert model.log_append > model.msg_receive
+        assert model.client_send > 0
+        assert model.gd_subend_update > 0

@@ -1,0 +1,315 @@
+"""Tests of the abstract knowledge-graph model (paper section 2).
+
+These check the *model-level* claims: the Figure 1 example behaves as
+described, knowledge accumulation is monotone, E is unreachable, filters
+and merges follow section 2.4, delivery is gapless/in-order, and under
+fair re-emission every published message is eventually delivered despite
+an adversary dropping, reordering, and forcing soft-state amnesia.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lattice import C, K, KnowledgeConflictError
+from repro.core.ticks import TickRange
+from repro.model.graph import KnowledgeGraph
+
+
+def drain(graph, rng=None):
+    """Deliver every in-flight transfer (in id order, or shuffled)."""
+    transfers = sorted(graph.channel)
+    if rng is not None:
+        rng.shuffle(transfers)
+    for transfer_id in transfers:
+        graph.deliver(transfer_id)
+
+
+def simple_chain():
+    """pubend -> broker -> subend with an all-pass filter."""
+    graph = KnowledgeGraph()
+    graph.add_pubend("P")
+    graph.add_node("B")
+    graph.add_subend("S")
+    graph.add_filter("P", "B")
+    graph.add_filter("B", "S")
+    return graph
+
+
+class TestBasics:
+    def test_publish_and_flow(self):
+        graph = simple_chain()
+        graph.publish("P", 5, "m5")
+        graph.silence("P", TickRange(0, 5))
+        graph.emit("P->B", TickRange(0, 6))
+        drain(graph)
+        graph.emit("B->S", TickRange(0, 6))
+        drain(graph)
+        assert graph.nodes["S"].value_at(5) == K.D
+        assert graph.subend_deliver("S") == [(5, "m5")]
+
+    def test_filter_converts_nonmatching_d_to_f(self):
+        graph = KnowledgeGraph()
+        graph.add_pubend("P")
+        graph.add_subend("S")
+        graph.add_filter("P", "S", predicate=lambda p: p == "yes")
+        graph.publish("P", 1, "no")
+        graph.publish("P", 2, "yes")
+        graph.silence("P", TickRange(0, 1))
+        graph.emit("P->S", TickRange(0, 3))
+        drain(graph)
+        assert graph.nodes["S"].value_at(1) == K.F
+        assert graph.nodes["S"].value_at(2) == K.D
+        assert graph.subend_deliver("S") == [(2, "yes")]
+
+    def test_silence_passes_through(self):
+        graph = simple_chain()
+        graph.silence("P", TickRange(0, 10))
+        graph.emit("P->B", TickRange(0, 10))
+        drain(graph)
+        assert graph.nodes["B"].value_at(5) == K.S
+
+    def test_duplicates_are_idempotent(self):
+        graph = simple_chain()
+        graph.publish("P", 3, "m")
+        graph.emit("P->B", TickRange(3, 4))
+        graph.emit("P->B", TickRange(3, 4))  # duplicate emission
+        drain(graph)
+        assert graph.nodes["B"].value_at(3) == K.D
+
+    def test_error_unreachable_via_protocol_moves(self):
+        """S vs D conflicts cannot arise from correct pubend behaviour —
+        publishing then silencing different ticks never collides."""
+        graph = simple_chain()
+        graph.publish("P", 3, "m")
+        graph.silence("P", TickRange(0, 3))
+        graph.silence("P", TickRange(0, 10))  # only Q ticks get S
+        assert graph.nodes["P"].value_at(3) == K.D
+        graph.check_no_error()
+
+    def test_error_raised_on_contradiction(self):
+        """A *broken* source asserting silence over data raises loudly."""
+        graph = simple_chain()
+        graph.publish("P", 3, "m")
+        graph.emit("P->B", TickRange(3, 4))
+        drain(graph)
+        with pytest.raises(KnowledgeConflictError):
+            graph.nodes["B"].accumulate(3, K.S)
+
+
+class TestDoubtHorizonAndOrder:
+    def test_gap_blocks_delivery(self):
+        graph = simple_chain()
+        graph.silence("P", TickRange(0, 3))
+        graph.publish("P", 3, "a")
+        graph.publish("P", 7, "b")
+        graph.silence("P", TickRange(4, 7))
+        graph.emit("P->B", TickRange(0, 8))
+        drain(graph)
+        # Lose the silence covering 4..6 on the way to S.
+        for transfer_id in graph.emit("B->S", TickRange(0, 8)):
+            transfer = graph.channel[transfer_id]
+            if 4 <= transfer.tick <= 6:
+                graph.drop(transfer_id)
+            else:
+                graph.deliver(transfer_id)
+        assert graph.subend_deliver("S") == [(3, "a")]  # 7 blocked by gap
+        # Re-emission fills the gap; now 7 is deliverable.
+        graph.emit("B->S", TickRange(4, 7))
+        drain(graph)
+        assert graph.subend_deliver("S") == [(7, "b")]
+
+    def test_out_of_order_arrival_never_reorders_delivery(self):
+        import random
+
+        graph = simple_chain()
+        for tick in range(0, 20, 2):
+            graph.publish("P", tick, f"m{tick}")
+            graph.silence("P", TickRange(tick + 1, tick + 2))
+        graph.emit("P->B", TickRange(0, 20))
+        drain(graph)
+        graph.emit("B->S", TickRange(0, 20))
+        drain(graph, rng=random.Random(5))  # shuffled delivery
+        delivered = graph.subend_deliver("S")
+        ticks = [t for t, __ in delivered]
+        assert ticks == sorted(ticks) == list(range(0, 20, 2))
+
+
+class TestMerge:
+    def merged_graph(self):
+        graph = KnowledgeGraph()
+        graph.add_pubend("P1")
+        graph.add_pubend("P2")
+        graph.add_subend("S")
+        graph.add_merge(["P1", "P2"], "S", name="m")
+        return graph
+
+    def test_merge_interleaves_deterministically(self):
+        graph = self.merged_graph()
+        graph.publish("P1", 0, "a0")
+        graph.silence("P1", TickRange(1, 6))
+        graph.publish("P2", 1, "b1")
+        graph.silence("P2", TickRange(0, 1))
+        graph.silence("P2", TickRange(2, 6))
+        graph.publish("P1", 6, "a6")
+        graph.silence("P2", TickRange(6, 7))
+        graph.emit("m", TickRange(0, 7))
+        drain(graph)
+        delivered = graph.subend_deliver("S")
+        assert [t for t, __ in delivered] == [0, 1, 6]
+
+    def test_merge_final_requires_all_inputs(self):
+        graph = self.merged_graph()
+        graph.silence("P1", TickRange(0, 5))
+        graph.emit("m", TickRange(0, 5))
+        drain(graph)
+        # P2 still unknown: merged output was Q, nothing accumulated.
+        assert graph.nodes["S"].value_at(2) == K.Q
+        graph.silence("P2", TickRange(0, 5))
+        graph.emit("m", TickRange(0, 5))
+        drain(graph)
+        assert graph.nodes["S"].value_at(2) == K.F
+
+    def test_merge_curiosity_targets_q_inputs(self):
+        graph = self.merged_graph()
+        graph.silence("P1", TickRange(0, 5))
+        graph.subend_curious("S", TickRange(0, 5))
+        graph.propagate_curiosity()
+        # P1 answered those ticks (non-Q), so curiosity goes to P2 only.
+        assert graph.nodes["P2"].curiosity.get(2) == C.C
+        assert graph.nodes["P1"].curiosity.get(2) != C.C
+
+
+class TestForgettingAndAcks:
+    def test_intermediate_may_forget_and_recover(self):
+        graph = simple_chain()
+        graph.publish("P", 2, "m")
+        graph.silence("P", TickRange(0, 2))
+        graph.emit("P->B", TickRange(0, 3))
+        drain(graph)
+        graph.forget("B", TickRange(0, 3))  # soft-state loss
+        assert graph.nodes["B"].value_at(2) == K.Q
+        graph.emit("P->B", TickRange(0, 3))  # pubend re-emits
+        drain(graph)
+        assert graph.nodes["B"].value_at(2) == K.D
+
+    def test_pubend_never_forgets(self):
+        graph = simple_chain()
+        graph.publish("P", 2, "m")
+        with pytest.raises(ValueError):
+            graph.forget("P", TickRange(0, 3))
+
+    def test_ack_consolidation_reaches_pubend(self):
+        graph = simple_chain()
+        graph.publish("P", 1, "m")
+        graph.silence("P", TickRange(0, 1))
+        graph.emit("P->B", TickRange(0, 2))
+        drain(graph)
+        graph.emit("B->S", TickRange(0, 2))
+        drain(graph)
+        graph.subend_deliver("S")
+        graph.propagate_acks()
+        # The delivered D tick became D* upstream (everyone downstream done).
+        assert graph.nodes["P"].curiosity.get(1) == C.A
+        assert graph.nodes["P"].value_at(1) == K.DSTAR
+        # And D* is lowerable to F ("automatically lowered").
+        graph.nodes["B"].lower_to_final(TickRange(0, 2))
+        assert graph.nodes["B"].value_at(1) in (K.F, K.DSTAR)
+
+    def test_two_subends_both_must_ack(self):
+        graph = KnowledgeGraph()
+        graph.add_pubend("P")
+        graph.add_node("B")
+        graph.add_subend("S1")
+        graph.add_subend("S2")
+        graph.add_filter("P", "B")
+        graph.add_filter("B", "S1")
+        graph.add_filter("B", "S2")
+        graph.publish("P", 0, "m")
+        graph.emit("P->B", TickRange(0, 1))
+        drain(graph)
+        graph.emit("B->S1", TickRange(0, 1))
+        drain(graph)
+        graph.subend_deliver("S1")
+        graph.propagate_acks()
+        assert graph.nodes["B"].curiosity.get(0) != C.A  # S2 pending
+        graph.emit("B->S2", TickRange(0, 1))
+        drain(graph)
+        graph.subend_deliver("S2")
+        graph.propagate_acks()
+        assert graph.nodes["B"].curiosity.get(0) == C.A
+        assert graph.nodes["P"].curiosity.get(0) == C.A
+
+
+class TestAdversarialProperties:
+    @given(seed=st.integers(0, 10_000), drop_rate=st.floats(0.0, 0.6))
+    @settings(max_examples=60, deadline=None)
+    def test_eventual_gapless_delivery_under_adversary(self, seed, drop_rate):
+        """Liveness under fairness: if ticks are re-emitted infinitely
+        often, everything arrives eventually (paper section 2.1) — and
+        whatever arrives is delivered gaplessly, in order, exactly once."""
+        import random
+
+        rng = random.Random(seed)
+        graph = simple_chain()
+        published = []
+        tick = 0
+        for i in range(15):
+            gap = rng.randint(1, 3)
+            graph.silence("P", TickRange(tick, tick + gap))
+            tick += gap
+            graph.publish("P", tick, f"m{i}")
+            published.append(tick)
+            tick += 1
+        horizon = tick
+        # Adversary rounds: emit, randomly drop/deliver, sometimes forget.
+        for round_no in range(40):
+            graph.emit("P->B", TickRange(0, horizon))
+            for transfer_id in sorted(graph.channel):
+                if rng.random() < drop_rate:
+                    graph.drop(transfer_id)
+            drain(graph, rng=rng)
+            if rng.random() < 0.2:
+                lo = rng.randrange(0, horizon)
+                graph.forget("B", TickRange(lo, min(lo + 5, horizon)))
+            graph.emit("B->S", TickRange(0, horizon))
+            for transfer_id in sorted(graph.channel):
+                if rng.random() < drop_rate:
+                    graph.drop(transfer_id)
+            drain(graph, rng=rng)
+            graph.subend_deliver("S")
+            graph.check_no_error()
+        # Fair closing phase: lossless re-emission.
+        graph.emit("P->B", TickRange(0, horizon))
+        drain(graph)
+        graph.emit("B->S", TickRange(0, horizon))
+        drain(graph)
+        graph.subend_deliver("S")
+        delivered = [t for t, __ in graph.delivered_at("S")]
+        assert delivered == published  # exactly once, in order, gapless
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_knowledge_monotone_between_forgets(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        graph = simple_chain()
+        for tick in range(0, 12, 3):
+            graph.publish("P", tick, tick)
+            graph.silence("P", TickRange(tick + 1, tick + 3))
+        before = {}
+        graph.emit("P->B", TickRange(0, 12))
+        for transfer_id in sorted(graph.channel):
+            if rng.random() < 0.5:
+                graph.drop(transfer_id)
+        snapshot = {t: graph.nodes["B"].value_at(t) for t in range(12)}
+        drain(graph, rng=rng)
+        graph.emit("P->B", TickRange(0, 12))
+        drain(graph, rng=rng)
+        for t in range(12):
+            from repro.core.lattice import k_lub
+
+            after = graph.nodes["B"].value_at(t)
+            # monotone: join of old and new equals new (new >= old)
+            assert k_lub(snapshot[t], after) == after

@@ -1,0 +1,137 @@
+"""Property-based end-to-end tests: exactly-once under *any* randomized
+schedule of drops, stalls, link failures and broker crashes.
+
+Hypothesis drives the fault schedule; every run asserts the paper's
+service specification — safety (in-order, at-most-once, matching) via the
+online client checks, and liveness (every published matching message
+delivered) via the offline ground-truth comparison after a quiescent
+drain.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DeliveryChecker, FaultInjector, LivenessParams
+from repro.topology import balanced_pubend_names, figure3_topology, two_broker_topology
+
+# Faster liveness settings so drained runs converge quickly.
+FAST_PARAMS = LivenessParams(gct=0.1, nrt_min=0.3, aet=3.0, dct=math.inf)
+
+fault_specs = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                ("link", "b1", "s1"),
+                ("link", "b2", "s1"),
+                ("link", "p1", "b1"),
+                ("stall_link", "b1", "s1"),
+                ("crash", "b1", None),
+                ("crash", "b2", None),
+                ("crash", "p1", None),
+            ]
+        ),
+        st.floats(1.0, 8.0),  # start time
+        st.floats(0.5, 4.0),  # duration
+    ),
+    max_size=3,
+)
+
+
+def apply_fault(injector, spec, start, duration):
+    kind = spec[0]
+    if kind == "link":
+        injector.at(start, lambda: injector.fail_link(spec[1], spec[2]))
+        injector.at(start + duration, lambda: injector.recover_link(spec[1], spec[2]))
+    elif kind == "stall_link":
+        injector.at(start, lambda: injector.stall_link(spec[1], spec[2]))
+        injector.at(start + duration, lambda: injector.recover_link(spec[1], spec[2]))
+    else:
+        injector.at(start, lambda: injector.crash_broker(spec[1]))
+        injector.at(start + duration, lambda: injector.restart_broker(spec[1]))
+
+
+class TestRandomFaultSchedules:
+    @given(faults=fault_specs, seed=st.integers(0, 2**16), drop=st.floats(0.0, 0.08))
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_exactly_once_on_figure3(self, faults, seed, drop):
+        names = balanced_pubend_names(2)
+        system = figure3_topology(n_pubends=2, pubend_names=names).build(
+            seed=seed, params=FAST_PARAMS
+        )
+        if drop:
+            for link in system.network._links.values():
+                link.drop_probability = drop
+        sub1 = system.subscribe("c1", "s1", tuple(names))
+        sub3 = system.subscribe("c3", "s3", tuple(names))
+        pubs = [system.publisher(name, rate=20.0) for name in names]
+        injector = FaultInjector(system)
+        for spec, start, duration in faults:
+            apply_fault(injector, spec, start, duration)
+        for pub in pubs:
+            pub.start(at=0.2)
+        system.run_until(12.0)
+        for pub in pubs:
+            pub.stop()
+        # Quiescent drain: all faults healed by t=12; liveness must finish.
+        system.run_until(32.0)
+        checker = DeliveryChecker(pubs)
+        for name, client in (("c1", sub1), ("c3", sub3)):
+            report = checker.check(client, system.subscriptions[name])
+            assert report.exactly_once, (
+                name,
+                report.missing[:3],
+                report.unexpected[:3],
+                injector.log,
+            )
+
+    @given(
+        drop=st.floats(0.0, 0.15),
+        jitter=st.floats(0.0, 0.03),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_exactly_once_on_lossy_two_broker(self, drop, jitter, seed):
+        topo = two_broker_topology()
+        topo.pubend("P0", "phb")
+        topo.route("P0", "PHB", "SHB")
+        system = topo.build(seed=seed, params=FAST_PARAMS, log_commit_latency=0.01)
+        link = system.network.link("phb", "shb")
+        link.drop_probability = drop
+        link.jitter = jitter
+        sub = system.subscribe("a", "shb", ("P0",), "g = 1")
+        pub = system.publisher("P0", rate=60.0, make_attributes=lambda i: {"g": i % 3})
+        pub.start(at=0.1)
+        system.run_until(5.0)
+        pub.stop()
+        system.run_until(20.0)
+        report = DeliveryChecker([pub]).check(sub, system.subscriptions["a"])
+        assert report.exactly_once, (report.missing[:3], report.unexpected[:3])
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_total_order_consistent_under_loss(self, seed):
+        names = balanced_pubend_names(2)
+        system = figure3_topology(n_pubends=2, pubend_names=names).build(
+            seed=seed, params=FAST_PARAMS
+        )
+        for link in system.network._links.values():
+            link.drop_probability = 0.05
+        t1 = system.subscribe("t1", "s1", tuple(names), total_order=True)
+        t2 = system.subscribe("t2", "s5", tuple(names), total_order=True)
+        pubs = [system.publisher(name, rate=20.0) for name in names]
+        for pub in pubs:
+            pub.start(at=0.2)
+        system.run_until(8.0)
+        for pub in pubs:
+            pub.stop()
+        system.run_until(28.0)
+        seq1 = [(p, t) for (p, t, __, ___) in t1.received]
+        seq2 = [(p, t) for (p, t, __, ___) in t2.received]
+        assert seq1 == seq2
+        assert len(seq1) == sum(len(p.published) for p in pubs)

@@ -1,0 +1,104 @@
+"""Unit tests for the deterministic discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.scheduler import Scheduler
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        s = Scheduler()
+        out = []
+        s.call_at(2.0, lambda: out.append("b"))
+        s.call_at(1.0, lambda: out.append("a"))
+        s.call_at(3.0, lambda: out.append("c"))
+        s.run()
+        assert out == ["a", "b", "c"]
+
+    def test_same_time_runs_in_scheduling_order(self):
+        s = Scheduler()
+        out = []
+        for i in range(5):
+            s.call_at(1.0, lambda i=i: out.append(i))
+        s.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_clock_advances(self):
+        s = Scheduler()
+        seen = []
+        s.call_at(1.5, lambda: seen.append(s.now))
+        s.run()
+        assert seen == [1.5]
+        assert s.now == 1.5
+
+    def test_call_later_is_relative(self):
+        s = Scheduler()
+        seen = []
+        s.call_at(1.0, lambda: s.call_later(0.5, lambda: seen.append(s.now)))
+        s.run()
+        assert seen == [1.5]
+
+    def test_past_events_run_now_not_backwards(self):
+        s = Scheduler()
+        seen = []
+        s.call_at(2.0, lambda: s.call_at(1.0, lambda: seen.append(s.now)))
+        s.run()
+        assert seen == [2.0]
+
+    def test_cancel(self):
+        s = Scheduler()
+        out = []
+        handle = s.call_at(1.0, lambda: out.append("x"))
+        handle.cancel()
+        s.run()
+        assert out == []
+
+    def test_run_until_stops_at_deadline(self):
+        s = Scheduler()
+        out = []
+        s.call_at(1.0, lambda: out.append(1))
+        s.call_at(5.0, lambda: out.append(5))
+        s.run_until(2.0)
+        assert out == [1]
+        assert s.now == 2.0
+        s.run_until(6.0)
+        assert out == [1, 5]
+
+    def test_run_guard_against_runaway(self):
+        s = Scheduler()
+
+        def loop():
+            s.call_later(0.0, loop)
+
+        s.call_at(0.0, loop)
+        with pytest.raises(RuntimeError):
+            s.run(max_events=1000)
+
+    def test_determinism_across_runs(self):
+        def simulate(seed):
+            s = Scheduler(seed=seed)
+            trace = []
+
+            def recurring(n):
+                if n <= 0:
+                    return
+                trace.append((round(s.now, 6), s.rng.random()))
+                s.call_later(s.rng.uniform(0.01, 0.1), lambda: recurring(n - 1))
+
+            s.call_at(0.0, lambda: recurring(20))
+            s.run()
+            return trace
+
+        assert simulate(42) == simulate(42)
+        assert simulate(42) != simulate(43)
+
+    def test_step_returns_false_when_empty(self):
+        s = Scheduler()
+        assert not s.step()
+
+    def test_events_run_counter(self):
+        s = Scheduler()
+        for i in range(3):
+            s.call_at(float(i), lambda: None)
+        s.run()
+        assert s.events_run == 3

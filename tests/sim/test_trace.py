@@ -1,0 +1,106 @@
+"""Tests for the structured event tracer."""
+
+import io
+import json
+
+import pytest
+
+from repro.sim.trace import Tracer
+from repro.topology import two_broker_topology
+
+
+def traced_run(drop=0.0, seed=3):
+    topo = two_broker_topology()
+    topo.pubend("P0", "phb")
+    topo.route("P0", "PHB", "SHB")
+    system = topo.build(seed=seed, log_commit_latency=0.01)
+    if drop:
+        system.network.link("phb", "shb").drop_probability = drop
+    tracer = Tracer(system).install()
+    system.subscribe("a", "shb", ("P0",))
+    pub = system.publisher("P0", rate=50.0)
+    pub.start(at=0.1)
+    system.run_until(1.0)
+    pub.stop()
+    system.run_until(3.0)
+    return system, tracer, pub
+
+
+class TestRecording:
+    def test_records_publishes_sends_and_deliveries(self):
+        __, tracer, pub = traced_run()
+        counts = tracer.counts()
+        assert counts["publish"] == len(pub.published)
+        assert counts["send:knowledge"] >= len(pub.published)
+        assert counts["deliver"] == len(pub.published)
+        assert counts.get("send:ack", 0) > 0
+
+    def test_link_status_suppressed_by_default(self):
+        __, tracer, __p = traced_run()
+        assert "send:link_status" not in tracer.counts()
+
+    def test_nacks_traced_under_loss(self):
+        __, tracer, __p = traced_run(drop=0.2, seed=9)
+        counts = tracer.counts()
+        assert counts.get("send:nack", 0) > 0
+        assert counts.get("send:retransmit", 0) > 0
+
+    def test_tracing_does_not_change_behaviour(self):
+        def deliveries(traced):
+            topo = two_broker_topology()
+            topo.pubend("P0", "phb")
+            topo.route("P0", "PHB", "SHB")
+            system = topo.build(seed=5, log_commit_latency=0.01)
+            system.network.link("phb", "shb").drop_probability = 0.1
+            if traced:
+                Tracer(system).install()
+            client = system.subscribe("a", "shb", ("P0",))
+            pub = system.publisher("P0", rate=50.0)
+            pub.start(at=0.1)
+            system.run_until(1.0)
+            pub.stop()
+            system.run_until(4.0)
+            return [(p, t) for (p, t, __, ___) in client.received]
+
+        assert deliveries(False) == deliveries(True)
+
+    def test_deterministic_traces(self):
+        __, t1, __a = traced_run(drop=0.1, seed=4)
+        __, t2, __b = traced_run(drop=0.1, seed=4)
+        assert t1.render() == t2.render()
+
+    def test_install_idempotent(self):
+        system, tracer, pub = traced_run()
+        count = len(tracer)
+        tracer.install()
+        assert len(tracer) == count
+
+
+class TestQueries:
+    def test_filter_by_kind_node_msg_and_window(self):
+        __, tracer, __p = traced_run()
+        sends = tracer.filter(kind="send", node="phb", msg="knowledge")
+        assert sends and all(e.node == "phb" for e in sends)
+        early = tracer.filter(t1=0.15)
+        late = tracer.filter(t0=0.15)
+        assert len(early) + len(late) == len(tracer)
+
+    def test_render_lines(self):
+        __, tracer, __p = traced_run()
+        text = tracer.render(tracer.filter(kind="deliver")[:3])
+        assert text.count("\n") == 2
+        assert "deliver" in text
+
+    def test_jsonl_export(self):
+        __, tracer, __p = traced_run()
+        out = io.StringIO()
+        rows = tracer.write_jsonl(out)
+        lines = out.getvalue().strip().splitlines()
+        assert rows == len(lines) == len(tracer)
+        parsed = json.loads(lines[0])
+        assert {"t", "kind", "node"} <= set(parsed)
+
+    def test_record_fault(self):
+        system, tracer, __p = traced_run()
+        tracer.record_fault("link phb-shb failed")
+        assert tracer.filter(kind="fault")

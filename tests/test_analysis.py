@@ -1,0 +1,98 @@
+"""Unit tests for the analysis/rendering utilities."""
+
+import io
+
+import pytest
+
+from repro.analysis import (
+    ascii_plot,
+    cumulative,
+    resample_max,
+    sparkline,
+    summarize,
+    write_series_csv,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        line = sparkline([1.0] * 10)
+        assert len(set(line)) == 1
+
+    def test_peak_visible(self):
+        line = sparkline([0, 0, 0, 10, 0, 0], width=6)
+        assert line[3] == "@"
+        assert line[0] == " "
+
+    def test_width_respected(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) <= 51
+
+
+class TestResample:
+    def test_keeps_peaks(self):
+        series = [(float(i), 0.1) for i in range(100)]
+        series[42] = (42.0, 9.9)
+        out = resample_max(series, bins=10)
+        assert max(y for __, y in out) == 9.9
+        assert len(out) <= 10
+
+    def test_empty(self):
+        assert resample_max([], 5) == []
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            resample_max([(0.0, 1.0)], 0)
+
+    def test_x_centres_ordered(self):
+        out = resample_max([(float(i), float(i)) for i in range(50)], bins=5)
+        xs = [x for x, __ in out]
+        assert xs == sorted(xs)
+
+
+class TestCumulative:
+    def test_running_sum_in_x_order(self):
+        out = cumulative([(2.0, 5.0), (1.0, 3.0)])
+        assert out == [(1.0, 3.0), (2.0, 8.0)]
+
+
+class TestAsciiPlot:
+    def test_contains_points_and_axis_labels(self):
+        text = ascii_plot([(0.0, 0.0), (1.0, 1.0)], width=20, height=5, title="T")
+        assert "T" in text
+        assert "*" in text
+        assert "1.000" in text
+
+    def test_empty(self):
+        assert "(no data)" in ascii_plot([], title="x")
+
+
+class TestSummarize:
+    def test_statistics(self):
+        stats = summarize(list(range(1, 101)))
+        assert stats["min"] == 1
+        assert stats["max"] == 100
+        assert stats["median"] == pytest.approx(50.5)
+        assert stats["mean"] == pytest.approx(50.5)
+        assert stats["p99"] == pytest.approx(99.01)
+        assert stats["count"] == 100
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestCsv:
+    def test_long_form_rows(self):
+        out = io.StringIO()
+        rows = write_series_csv(
+            out, {"a": [(1.0, 2.0)], "b": [(0.5, 1.5), (0.7, 2.5)]}
+        )
+        assert rows == 3
+        lines = out.getvalue().strip().splitlines()
+        assert lines[0] == "series,t,value"
+        assert lines[1].startswith("a,1.000000")
+        assert lines[2].startswith("b,0.500000")

@@ -1,0 +1,39 @@
+"""Tests for the experiment command line."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig_commands_share_seed_flag(self):
+        for name in ("fig6", "fig7", "fig8"):
+            args = build_parser().parse_args([name, "--seed", "11"])
+            assert args.seed == 11
+
+    def test_overhead_defaults(self):
+        args = build_parser().parse_args(["overhead"])
+        assert args.subs == [100, 400, 1600]
+        assert args.rate == 200.0
+
+
+class TestCommands:
+    def test_quickcheck_passes(self, capsys):
+        assert main(["quickcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "exactly once: True" in out
+
+    def test_overhead_prints_table(self, capsys):
+        assert main(["overhead", "--subs", "50", "--measure", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "gd" in out and "best-effort" in out
+
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "exactly once" in out
+        assert "nack" in out

@@ -1,0 +1,133 @@
+"""Unit tests for clients and the exactly-once checker."""
+
+import pytest
+
+from repro.client import (
+    DeliveryChecker,
+    DuplicateDelivery,
+    OrderViolation,
+    SubscriberClient,
+)
+from repro.core.subend import Subscription
+from repro.matching.events import Event
+from repro.metrics.recorder import MetricsHub
+
+
+class TestSubscriberClient:
+    def test_records_deliveries(self):
+        client = SubscriberClient("a")
+        client.on_delivery("P", 5, "m5", 1.0)
+        client.on_delivery("P", 9, "m9", 1.1)
+        assert client.count() == 2
+        assert client.delivered_ticks("P") == [5, 9]
+
+    def test_rejects_duplicates(self):
+        client = SubscriberClient("a")
+        client.on_delivery("P", 5, "m", 1.0)
+        with pytest.raises(DuplicateDelivery):
+            client.on_delivery("P", 5, "m", 1.1)
+
+    def test_rejects_out_of_order_per_pubend(self):
+        client = SubscriberClient("a")
+        client.on_delivery("P", 9, "m", 1.0)
+        with pytest.raises(OrderViolation):
+            client.on_delivery("P", 5, "m", 1.1)
+
+    def test_interleaving_across_pubends_allowed_in_publisher_order(self):
+        client = SubscriberClient("a")
+        client.on_delivery("P", 9, "m", 1.0)
+        client.on_delivery("Q", 5, "m", 1.1)  # older tick, other pubend: fine
+        assert client.count() == 2
+
+    def test_total_order_checks_global_ticks(self):
+        client = SubscriberClient("a", check_total_order=True)
+        client.on_delivery("P", 9, "m", 1.0)
+        with pytest.raises(OrderViolation):
+            client.on_delivery("Q", 5, "m", 1.1)
+
+    def test_latency_recorded_from_event_ts(self):
+        hub = MetricsHub()
+        client = SubscriberClient("a", metrics=hub)
+        client.on_delivery("P", 5, Event({"ts": 1.0}), 1.25)
+        assert hub.latency.series("a").values() == [pytest.approx(0.25)]
+
+    def test_latency_recorded_from_dict_ts(self):
+        hub = MetricsHub()
+        client = SubscriberClient("a", metrics=hub)
+        client.on_delivery("P", 5, {"ts": 2.0}, 2.5)
+        assert hub.latency.series("a").values() == [pytest.approx(0.5)]
+
+    def test_no_latency_without_ts(self):
+        hub = MetricsHub()
+        client = SubscriberClient("a", metrics=hub)
+        client.on_delivery("P", 5, "opaque", 1.0)
+        assert len(hub.latency.series("a")) == 0
+
+
+class FakePublisher:
+    def __init__(self, pubend, published):
+        self.pubend = pubend
+        self.published = published  # (seq, tick, event)
+
+
+class TestDeliveryChecker:
+    def make(self):
+        events = [
+            (0, 100, Event({"g": 0})),
+            (1, 140, Event({"g": 1})),
+            (2, 180, Event({"g": 0})),
+        ]
+        return FakePublisher("P", events)
+
+    def sub(self, predicate=None):
+        from repro.matching.parser import parse
+
+        return Subscription(
+            "a",
+            predicate=parse(predicate) if predicate else (lambda p: True),
+            pubends=("P",),
+        )
+
+    def test_complete_delivery_passes(self):
+        pub = self.make()
+        client = SubscriberClient("a")
+        for __, tick, event in pub.published:
+            client.on_delivery("P", tick, event, 1.0)
+        report = DeliveryChecker([pub]).check(client, self.sub())
+        assert report.exactly_once
+        assert report.delivered == 3
+
+    def test_missing_message_detected(self):
+        pub = self.make()
+        client = SubscriberClient("a")
+        client.on_delivery("P", 100, pub.published[0][2], 1.0)
+        client.on_delivery("P", 180, pub.published[2][2], 1.1)
+        report = DeliveryChecker([pub]).check(client, self.sub())
+        assert not report.exactly_once
+        assert report.missing == [("P", 140)]
+
+    def test_unexpected_delivery_detected(self):
+        pub = self.make()
+        client = SubscriberClient("a")
+        client.on_delivery("P", 999, Event({"g": 0}), 1.0)
+        report = DeliveryChecker([pub]).check(client, self.sub())
+        assert ("P", 999) in report.unexpected
+
+    def test_filter_restricts_expectations(self):
+        pub = self.make()
+        client = SubscriberClient("a")
+        for __, tick, event in pub.published:
+            if event["g"] == 0:
+                client.on_delivery("P", tick, event, 1.0)
+        report = DeliveryChecker([pub]).check(client, self.sub("g = 0"))
+        assert report.exactly_once
+        assert report.matching_published == 2
+
+    def test_unrelated_pubend_ignored(self):
+        pub = self.make()
+        other = FakePublisher("OTHER", [(0, 50, Event({"g": 0}))])
+        client = SubscriberClient("a")
+        for __, tick, event in pub.published:
+            client.on_delivery("P", tick, event, 1.0)
+        report = DeliveryChecker([pub, other]).check(client, self.sub())
+        assert report.exactly_once

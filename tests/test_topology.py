@@ -1,0 +1,155 @@
+"""Unit tests for the topology builder and canned networks."""
+
+import pytest
+
+from repro.broker.engine import stable_hash
+from repro.topology import (
+    Topology,
+    balanced_pubend_names,
+    figure3_topology,
+    two_broker_topology,
+)
+
+
+class TestDeclaration:
+    def test_duplicate_cell_rejected(self):
+        topo = Topology().cell("A", "a1")
+        with pytest.raises(ValueError):
+            topo.cell("A", "a2")
+
+    def test_broker_in_two_cells_rejected(self):
+        topo = Topology().cell("A", "x")
+        with pytest.raises(ValueError):
+            topo.cell("B", "x")
+
+    def test_empty_cell_rejected(self):
+        with pytest.raises(ValueError):
+            Topology().cell("A")
+
+    def test_duplicate_pubend_rejected(self):
+        topo = Topology().cell("A", "a1").pubend("P", "a1")
+        with pytest.raises(ValueError):
+            topo.pubend("P", "a1")
+
+
+class TestRouteComputation:
+    def make(self):
+        topo = Topology()
+        topo.cell("ROOT", "r")
+        topo.cell("MID", "m1", "m2")
+        topo.cell("LEAF1", "l1")
+        topo.cell("LEAF2", "l2")
+        topo.link("r", "m1").link("r", "m2").link("m1", "m2")
+        topo.link("m1", "l1").link("m2", "l1").link("m1", "l2").link("m2", "l2")
+        topo.pubend("P", "r")
+        topo.route("P", "ROOT", "MID")
+        topo.route("P", "MID", "LEAF1")
+        topo.route("P", "MID", "LEAF2")
+        return topo
+
+    def test_root_route(self):
+        system = self.make().build()
+        info = system.brokers["r"].topo
+        route = info.routes["P"]
+        assert route.upstream_cell is None
+        assert set(route.downstream) == {"MID"}
+        assert route.subtree["MID"] == frozenset({"LEAF1", "LEAF2"})
+
+    def test_mid_route_shared_by_cell_members(self):
+        system = self.make().build()
+        for broker_id in ("m1", "m2"):
+            route = system.brokers[broker_id].topo.routes["P"]
+            assert route.upstream_cell == "ROOT"
+            assert set(route.downstream) == {"LEAF1", "LEAF2"}
+
+    def test_leaf_route(self):
+        system = self.make().build()
+        route = system.brokers["l1"].topo.routes["P"]
+        assert route.upstream_cell == "MID"
+        assert route.downstream == {}
+
+    def test_peers(self):
+        system = self.make().build()
+        assert system.brokers["m1"].topo.peers() == ("m2",)
+        assert system.brokers["r"].topo.peers() == ()
+
+    def test_pubend_hosted_at_root(self):
+        system = self.make().build()
+        assert "P" in system.brokers["r"].engine.pubends
+        assert system.pubend_hosts["P"] == "r"
+
+    def test_pubend_slots_distinct(self):
+        topo = self.make()
+        topo.pubend("Q", "r")
+        topo.route("Q", "ROOT", "MID")
+        system = topo.build()
+        slots = {
+            pid: pb.slot
+            for pid, pb in system.brokers["r"].engine.pubends.items()
+        }
+        assert slots["P"] != slots["Q"]
+
+
+class TestCannedTopologies:
+    def test_two_broker(self):
+        topo = two_broker_topology()
+        topo.pubend("P0", "phb").route("P0", "PHB", "SHB")
+        system = topo.build()
+        assert set(system.brokers) == {"phb", "shb"}
+        assert system.network.has_link("phb", "shb")
+
+    def test_figure3_shape(self):
+        system = figure3_topology().build()
+        assert len(system.brokers) == 10
+        net = system.network
+        # p1 connects to all four intermediates
+        assert net.neighbors("p1") == ["b1", "b2", "b3", "b4"]
+        # cell-internal links
+        assert net.has_link("b1", "b2")
+        assert net.has_link("b3", "b4")
+        # SHB bundles
+        for s in ("s1", "s2"):
+            assert net.neighbors(s) == ["b1", "b2"]
+        for s in ("s3", "s4", "s5"):
+            assert net.neighbors(s) == ["b3", "b4"]
+
+    def test_figure3_routes(self):
+        system = figure3_topology(n_pubends=1).build()
+        b1_route = system.brokers["b1"].topo.routes["P0"]
+        assert b1_route.upstream_cell == "PHB"
+        assert set(b1_route.downstream) == {"SHB1", "SHB2"}
+        b3_route = system.brokers["b3"].topo.routes["P0"]
+        assert set(b3_route.downstream) == {"SHB3", "SHB4", "SHB5"}
+        p1_route = system.brokers["p1"].topo.routes["P0"]
+        assert p1_route.subtree["IB1"] == frozenset({"SHB1", "SHB2"})
+
+    def test_balanced_pubend_names(self):
+        names = balanced_pubend_names(4)
+        parities = [stable_hash(n) % 2 for n in names]
+        assert sorted(parities) == [0, 0, 1, 1]
+        assert parities[0] != parities[1]  # alternating
+
+    def test_balanced_names_wider_bundle(self):
+        names = balanced_pubend_names(6, bundle_width=3)
+        residues = [stable_hash(n) % 3 for n in names]
+        assert sorted(residues) == [0, 0, 1, 1, 2, 2]
+
+
+class TestSystemHelpers:
+    def test_subscribe_parses_string_predicates(self):
+        topo = two_broker_topology()
+        topo.pubend("P0", "phb").route("P0", "PHB", "SHB")
+        system = topo.build()
+        system.subscribe("a", "shb", ("P0",), "x > 3")
+        predicate = system.subscriptions["a"].predicate
+        assert predicate({"x": 4})
+        assert not predicate({"x": 3})
+
+    def test_run_until_is_monotone(self):
+        topo = two_broker_topology()
+        topo.pubend("P0", "phb").route("P0", "PHB", "SHB")
+        system = topo.build()
+        system.run_until(1.0)
+        assert system.now == 1.0
+        system.run_for(0.5)
+        assert system.now == 1.5
