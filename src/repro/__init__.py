@@ -43,8 +43,11 @@ from .matching.tree import MatchingTree
 from .matching.events import Event
 from .matching.parser import parse as parse_subscription
 from .metrics.cpu import CostModel, CpuAccountant
-from .metrics.recorder import MetricsHub
-from .sim.trace import TraceEvent, Tracer
+from .obs.exporters import json_lines, parse_prometheus, prometheus_text
+from .obs.hub import MetricsHub
+from .obs.instruments import Instruments, ScopedTimer
+from .obs.observability import Observability
+from .obs.trace import TraceEvent, Tracer
 from .storage.log import FileLog, MemoryLog
 from .topology import System, Topology, figure3_topology, two_broker_topology
 
@@ -66,6 +69,7 @@ __all__ = [
     "FilterEdge",
     "INFINITY",
     "IndexedMatcher",
+    "Instruments",
     "K",
     "KnowledgeMessage",
     "KnowledgeStream",
@@ -76,10 +80,12 @@ __all__ = [
     "MergeView",
     "MetricsHub",
     "NackMessage",
+    "Observability",
     "PAPER_FAULT_PARAMS",
     "Predicate",
     "Pubend",
     "PublisherClient",
+    "ScopedTimer",
     "Stream",
     "SubendManager",
     "SubscriberClient",
@@ -91,7 +97,10 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "figure3_topology",
+    "json_lines",
+    "parse_prometheus",
     "parse_subscription",
+    "prometheus_text",
     "two_broker_topology",
     "__version__",
 ]

@@ -24,7 +24,8 @@ from ..core.subend import Subscription
 from ..core.ticks import Tick
 from ..matching.events import Event
 from ..matching.parser import parse
-from ..metrics.recorder import MetricsHub
+from ..obs.hub import MetricsHub
+from ..obs.observability import Observability
 from ..storage.log import MemoryLog, MessageLog
 from ..topology import Topology, TopologyPlan
 from .transport import LocalTransport
@@ -70,16 +71,22 @@ class AioBroker:
         params: LivenessParams,
         transport,
         metrics: Optional[MetricsHub] = None,
+        obs: Optional[Observability] = None,
     ):
         self.broker_id = broker_id
         self.info = info
         self.params = params
         self.transport = transport
-        self.metrics = metrics if metrics is not None else MetricsHub()
+        if obs is None:
+            obs = Observability(hub=metrics)
+        self.obs = obs
+        self.metrics = metrics if metrics is not None else obs.hub
         self.alive = True
         self.epoch = 0
         self.services = _AioServices(self)
-        self.engine = GDBrokerEngine(info, params, self.services)
+        self.engine = GDBrokerEngine(
+            info, params, self.services, instruments=self.obs.instruments
+        )
         self._hostings: List[Tuple[str, MessageLog, int, int, Optional[float]]] = []
         self._clients: Dict[str, SubscriberClient] = {}
         self._log_delay_tasks: int = 0
@@ -163,7 +170,9 @@ class AioBroker:
             return
         self.alive = True
         self.epoch += 1
-        self.engine = GDBrokerEngine(self.info, self.params, self.services)
+        self.engine = GDBrokerEngine(
+            self.info, self.params, self.services, instruments=self.obs.instruments
+        )
         for pubend_id, log, slot, n_slots, window in self._hostings:
             pubend = Pubend(
                 pubend_id,
@@ -246,7 +255,8 @@ class AioSystem:
     ):
         self.params = params if params is not None else LivenessParams()
         self.transport = transport if transport is not None else LocalTransport()
-        self.metrics = MetricsHub()
+        self.obs = Observability()
+        self.metrics = self.obs.hub
         self.plan: TopologyPlan = topology.plan()
         self.brokers: Dict[str, AioBroker] = {}
         self.pubend_hosts: Dict[str, str] = {}
@@ -257,7 +267,12 @@ class AioSystem:
         self._log_factory = log_factory
         for broker_id, info in self.plan.infos.items():
             self.brokers[broker_id] = AioBroker(
-                broker_id, info, self.params, self.transport, metrics=self.metrics
+                broker_id,
+                info,
+                self.params,
+                self.transport,
+                metrics=self.metrics,
+                obs=self.obs,
             )
         for pubend_id, host_broker, slot, n_slots, preassign in self.plan.pubends:
             if self._log_factory is not None:

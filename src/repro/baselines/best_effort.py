@@ -25,7 +25,8 @@ from ..core.config import LivenessParams
 from ..core.subend import Subscription
 from ..core.ticks import Tick, tick_of_time
 from ..metrics.cpu import CostModel, CpuAccountant
-from ..metrics.recorder import MetricsHub
+from ..obs.hub import MetricsHub
+from ..obs.observability import Observability
 from ..sim.network import SimNetwork
 from ..sim.process import SimProcess
 from ..sim.scheduler import Scheduler
@@ -59,14 +60,19 @@ class BestEffortBroker(SimProcess):
         metrics: Optional[MetricsHub] = None,
         cost_model: Optional[CostModel] = None,
         client_latency: float = 0.0005,
+        obs: Optional[Observability] = None,
     ):
         super().__init__(node_id, network, scheduler)
         self.topo = topo
         self.params = params
-        self.metrics = metrics if metrics is not None else MetricsHub()
+        if obs is None:
+            obs = Observability(hub=metrics)
+        self.obs = obs
+        self.metrics = metrics if metrics is not None else obs.hub
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.client_latency = client_latency
         self.accountant = CpuAccountant(lambda: scheduler.now)
+        self.obs.register_accountant(node_id, self.accountant)
         self._fanout = LocalFanout()
         self._last_tick: Dict[str, Tick] = {}
 

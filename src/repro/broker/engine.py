@@ -58,6 +58,7 @@ from ..matching.ast import (
 )
 from ..matching.covering import summarize_subscriptions
 from ..core.edges import FilterEdge
+from ..obs.instruments import NULL_INSTRUMENTS, TICK_RANGE_BUCKETS
 from .state import (
     BrokerTopologyInfo,
     Envelope,
@@ -168,10 +169,13 @@ class GDBrokerEngine:
         topo: BrokerTopologyInfo,
         params: LivenessParams,
         services: BrokerServices,
+        instruments: Any = NULL_INSTRUMENTS,
     ):
         self.topo = topo
         self.params = params
         self.services = services
+        self.instruments = instruments
+        self._resolve_instruments(instruments)
         self.istreams: Dict[str, IStream] = {}
         #: pubend -> downstream cell -> OStream
         self.ostreams: Dict[str, Dict[str, OStream]] = {}
@@ -189,6 +193,67 @@ class GDBrokerEngine:
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
+
+    def _resolve_instruments(self, instruments: Any) -> None:
+        """Resolve this broker's instrument children once, up front.
+
+        Hot-path events then cost one bound-method call; against
+        :data:`NULL_INSTRUMENTS` the calls are no-ops.  Children are
+        keyed by broker id, so a restarted engine (fresh soft state)
+        keeps accumulating into the same counters.
+        """
+        broker = self.topo.broker_id
+        self._m_knowledge_sent = instruments.counter(
+            "repro_broker_knowledge_sent_total",
+            "Knowledge messages this broker put on broker-to-broker links",
+            broker=broker,
+        )
+        self._m_knowledge_received = instruments.counter(
+            "repro_broker_knowledge_received_total",
+            "Knowledge messages received from adjacent brokers",
+            broker=broker,
+        )
+        self._m_nacks_sent = instruments.counter(
+            "repro_broker_nacks_sent_total",
+            "Nack (curiosity) messages this broker sent upstream",
+            broker=broker,
+        )
+        self._m_nacks_received = instruments.counter(
+            "repro_broker_nacks_received_total",
+            "Nack messages received from downstream brokers",
+            broker=broker,
+        )
+        self._m_nacks_consolidated = instruments.counter(
+            "repro_broker_nacks_consolidated_total",
+            "Nacks suppressed because the requested ticks were already curious",
+            broker=broker,
+        )
+        self._m_nack_range_ticks = instruments.histogram(
+            "repro_broker_nack_range_ticks",
+            "Ticks requested per nack message sent upstream (the paper's nack range)",
+            boundaries=TICK_RANGE_BUCKETS,
+            broker=broker,
+        )
+        self._m_acks_sent = instruments.counter(
+            "repro_broker_acks_sent_total",
+            "Consolidated ack messages this broker sent upstream",
+            broker=broker,
+        )
+        self._m_acks_received = instruments.counter(
+            "repro_broker_acks_received_total",
+            "Ack messages received from downstream brokers",
+            broker=broker,
+        )
+        self._m_retransmissions = instruments.counter(
+            "repro_broker_retransmissions_total",
+            "Retransmitted knowledge messages answering downstream curiosity",
+            broker=broker,
+        )
+        self._m_silence_messages = instruments.counter(
+            "repro_broker_silence_messages_total",
+            "Idle-silence knowledge messages generated by locally hosted pubends",
+            broker=broker,
+        )
 
     def _ensure_streams(self, pubend: str) -> IStream:
         ist = self.istreams.get(pubend)
@@ -226,7 +291,12 @@ class GDBrokerEngine:
 
     def ensure_subend(self) -> SubendManager:
         if self.subend is None:
-            self.subend = SubendManager(_EngineSubendServices(self), self.params)
+            self.subend = SubendManager(
+                _EngineSubendServices(self),
+                self.params,
+                instruments=self.instruments,
+                node=self.topo.broker_id,
+            )
         return self.subend
 
     def add_subscription(self, subscription: Subscription) -> None:
@@ -343,6 +413,7 @@ class GDBrokerEngine:
             ist.last_upstream_sender = src
         self.services.charge(0.0, "knowledge_receive")
         self.bump("knowledge_received")
+        self._m_knowledge_received.inc()
 
         for rng in message.merged_f_ranges():
             ist.stream.accumulate_final(rng)
@@ -533,6 +604,7 @@ class GDBrokerEngine:
             retransmit=True,
         )
         self.bump("retransmissions_sent")
+        self._m_retransmissions.inc()
         self._send_knowledge(ost, out, allow_sideways)
 
     def _send_knowledge(
@@ -543,12 +615,14 @@ class GDBrokerEngine:
         self.services.on_knowledge_message(message)
         if target is not None:
             self.bump("knowledge_sent")
+            self._m_knowledge_sent.inc()
             self.services.send(target, Envelope(message), _knowledge_size(message))
             return
         if allow_sideways:
             peer = self._pick_sideways_peer(ost.cell)
             if peer is not None:
                 self.bump("knowledge_sideways")
+                self._m_knowledge_sent.inc()
                 self.services.send(
                     peer,
                     Envelope(message, target_cell=ost.cell, sideways=True),
@@ -564,6 +638,7 @@ class GDBrokerEngine:
     def _on_nack(self, src: str, nack: NackMessage) -> None:
         self.services.charge(0.0, "control")
         self.bump("nacks_received")
+        self._m_nacks_received.inc()
         pubend = nack.pubend
         ist = self.istreams.get(pubend)
         if ist is None:
@@ -613,9 +688,12 @@ class GDBrokerEngine:
             fresh = list(ranges)
         if not fresh:
             self.bump("nacks_consolidated")
+            self._m_nacks_consolidated.inc()
             return
         message = NackMessage(pubend=pubend, ranges=tuple(fresh))
         self.bump("nacks_sent")
+        self._m_nacks_sent.inc()
+        self._m_nack_range_ticks.observe(float(sum(len(r) for r in fresh)))
         self.services.on_nack_message(pubend, fresh)
         self._send_upstream(pubend, ist, Envelope(message), size=64)
 
@@ -630,6 +708,7 @@ class GDBrokerEngine:
 
     def _on_ack(self, src: str, ack: AckMessage) -> None:
         self.services.charge(0.0, "control")
+        self._m_acks_received.inc()
         cell = self.topo.cell_of.get(src)
         ost = self.ostreams.get(ack.pubend, {}).get(cell) if cell else None
         if ost is None:
@@ -676,6 +755,7 @@ class GDBrokerEngine:
             # Garbage-collect: the prefix is final everywhere downstream.
             ist.stream.set_ack(TickRange(0, prefix))
             self.bump("acks_sent")
+            self._m_acks_sent.inc()
             self._send_upstream(
                 pubend, ist, Envelope(AckMessage(pubend, prefix)), size=48
             )
@@ -940,6 +1020,7 @@ class GDBrokerEngine:
         for pb in self.pubends.values():
             message = pb.maybe_silence(now)
             if message is not None:
+                self._m_silence_messages.inc()
                 self._ingest_local(message)
 
     def _subend_check(self) -> None:

@@ -27,7 +27,8 @@ from ..core.pubend import Pubend
 from ..core.subend import Subscription
 from ..core.ticks import Tick, TickRange
 from ..metrics.cpu import CostModel, CpuAccountant
-from ..metrics.recorder import MetricsHub
+from ..obs.hub import MetricsHub
+from ..obs.observability import Observability
 from ..sim.network import SimNetwork
 from ..sim.process import SimProcess
 from ..sim.scheduler import Scheduler
@@ -114,6 +115,7 @@ class SimBroker(SimProcess):
         cost_model: Optional[CostModel] = None,
         client_latency: float = 0.0005,
         restart_warmup: float = 0.3,
+        obs: Optional[Observability] = None,
     ):
         super().__init__(node_id, network, scheduler)
         #: CPU-seconds of extra work charged right after a restart —
@@ -124,15 +126,21 @@ class SimBroker(SimProcess):
         self.restart_warmup = restart_warmup
         self.topo = topo
         self.params = params
-        self.metrics = metrics if metrics is not None else MetricsHub()
+        if obs is None:
+            obs = Observability(hub=metrics)
+        self.obs = obs
+        self.metrics = metrics if metrics is not None else obs.hub
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.client_latency = client_latency
         self.accountant = CpuAccountant(lambda: scheduler.now)
+        self.obs.register_accountant(node_id, self.accountant)
         self._hostings: Dict[str, _PubendHosting] = {}
         self._subscriptions: List[Subscription] = []
         self._clients: Dict[str, SubscriberHooks] = {}
         self.services = _SimServices(self)
-        self.engine = GDBrokerEngine(topo, params, self.services)
+        self.engine = GDBrokerEngine(
+            topo, params, self.services, instruments=self.obs.instruments
+        )
         self._started = False
 
     # ------------------------------------------------------------------
@@ -165,6 +173,7 @@ class SimBroker(SimProcess):
                 if hosting.preassign_window is not None
                 else self.params.preassign_window
             ),
+            instruments=self.obs.instruments,
         )
         if recover:
             pubend.recover()
@@ -261,7 +270,9 @@ class SimBroker(SimProcess):
     def on_restart(self) -> None:
         if self.restart_warmup:
             self.accountant.charge(self.restart_warmup, "warmup")
-        self.engine = GDBrokerEngine(self.topo, self.params, self.services)
+        self.engine = GDBrokerEngine(
+            self.topo, self.params, self.services, instruments=self.obs.instruments
+        )
         for hosting in self._hostings.values():
             self._adopt(hosting, recover=True)
         # NOTE: subscriptions at a crashed SHB are not restored — clients

@@ -6,6 +6,7 @@ Examples::
     python -m repro fig7 --seed 11        # Figure 7 with a different seed
     python -m repro overhead --subs 100 400 --rate 200
     python -m repro quickcheck            # fast end-to-end sanity run
+    python -m repro stats --topology figure3 --duration 5   # metrics snapshot
 
 Each experiment prints the same rows/series the corresponding benchmark
 asserts on (see EXPERIMENTS.md).
@@ -112,6 +113,45 @@ def _cmd_quickcheck(args: argparse.Namespace) -> int:
     return 0 if report.exactly_once else 1
 
 
+def _stats_system(args: argparse.Namespace):
+    from .core.config import LivenessParams
+    from .topology import balanced_pubend_names, figure3_topology, two_broker_topology
+
+    params = LivenessParams(gct=0.1, nrt_min=0.3)
+    if args.topology == "figure3":
+        names = balanced_pubend_names(4)
+        system = figure3_topology(pubend_names=names).build(
+            seed=args.seed, params=params
+        )
+        for i in range(1, 6):
+            system.subscribe(f"sub{i}", f"s{i}", tuple(names))
+        rate = 25.0
+    else:
+        names = ["P0"]
+        topo = two_broker_topology()
+        topo.pubend("P0", "phb")
+        topo.route("P0", "PHB", "SHB")
+        system = topo.build(seed=args.seed, params=params)
+        system.subscribe("sub1", "shb", ("P0",))
+        rate = 50.0
+    if args.drop:
+        for link in system.network.links_of("p1" if args.topology == "figure3" else "phb"):
+            link.drop_probability = args.drop
+    for name in names:
+        system.publisher(name, rate=rate).start(at=0.1)
+    return system
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    system = _stats_system(args)
+    system.run_for(args.duration)
+    if args.format == "json":
+        system.obs.json_lines(sys.stdout)
+    else:
+        sys.stdout.write(system.obs.prometheus())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -142,6 +182,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("quickcheck", help="fast exactly-once sanity run")
     p.add_argument("--seed", type=int, default=3)
     p.set_defaults(fn=_cmd_quickcheck)
+
+    p = sub.add_parser(
+        "stats",
+        help="run a canned workload and print an observability snapshot",
+    )
+    p.add_argument(
+        "--topology", choices=("figure3", "two_broker"), default="figure3"
+    )
+    p.add_argument("--duration", type=float, default=5.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--drop", type=float, default=0.0,
+        help="drop probability on the PHB's links (exercises nack metrics)",
+    )
+    p.add_argument("--format", choices=("prometheus", "json"), default="prometheus")
+    p.set_defaults(fn=_cmd_stats)
 
     return parser
 

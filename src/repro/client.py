@@ -22,7 +22,7 @@ from .broker.simbroker import SimBroker, SubscriberHooks
 from .core.subend import Subscription
 from .core.ticks import Tick
 from .matching.events import Event
-from .metrics.recorder import MetricsHub
+from .obs.hub import MetricsHub
 from .sim.scheduler import Scheduler
 
 __all__ = [

@@ -20,7 +20,7 @@ which is the default here.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["LivenessParams", "INFINITY", "PAPER_FAULT_PARAMS"]
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
+from ..obs.instruments import NULL_INSTRUMENTS
 from ..storage.log import LogEntry, MessageLog
 from .lattice import K
 from .messages import AckExpectedMessage, DataTick, KnowledgeMessage
@@ -56,6 +57,7 @@ class Pubend:
         aet: float = 10.0,
         silence_interval: float = 0.5,
         preassign_window: float = 0.0,
+        instruments: Any = NULL_INSTRUMENTS,
     ):
         if not 0 <= slot < n_slots:
             raise ValueError(f"slot {slot} out of range for n_slots {n_slots}")
@@ -81,6 +83,28 @@ class Pubend:
         #: rebuilt from the durable truncation point after a crash).
         self.acked_up_to: Tick = 0
         self.publish_count = 0
+        labels = {"pubend": pubend_id}
+        self._m_publishes = instruments.counter(
+            "repro_pubend_publishes_total",
+            help="Messages published through this pubend.",
+            **labels,
+        )
+        self._m_log_appends = instruments.counter(
+            "repro_pubend_log_appends_total",
+            help="Entries appended to the pubend's stable log.",
+            **labels,
+        )
+        self._m_log_truncated = instruments.counter(
+            "repro_pubend_log_truncated_ticks_total",
+            help="Ticks garbage-collected from the stable log after "
+            "consolidated acks.",
+            **labels,
+        )
+        self._m_acked_tick = instruments.gauge(
+            "repro_pubend_acked_tick",
+            help="Prefix of ticks acknowledged by all downstream paths.",
+            **labels,
+        )
 
     # ------------------------------------------------------------------
     # Publishing
@@ -110,6 +134,8 @@ class Pubend:
         tick = self.assign_tick(now)
         prev_horizon = self.stream.horizon()
         self.log.append(LogEntry(self.pubend_id, tick, payload))
+        self._m_publishes.inc()
+        self._m_log_appends.inc()
         f_ranges: List[TickRange] = []
         if tick > prev_horizon:
             f_ranges.append(TickRange(prev_horizon, tick))
@@ -168,7 +194,9 @@ class Pubend:
         """
         if up_to <= self.acked_up_to:
             return False
+        self._m_log_truncated.inc(up_to - self.acked_up_to)
         self.acked_up_to = up_to
+        self._m_acked_tick.set(float(up_to))
         self.stream.finalize(TickRange(0, up_to))
         self.log.truncate(self.pubend_id, up_to)
         return True

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterator, List, Tuple
 
 from .intervals import IntervalMap
-from .lattice import C, K, KnowledgeConflictError, k_lub
+from .lattice import C, K, k_lub
 from .ticks import Tick, TickRange
 
 __all__ = ["KnowledgeStream", "CuriosityStream", "Stream"]

@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, 
 
 from ..matching.ast import Predicate as AstPredicate
 from ..matching.tree import MatchingTree
+from ..obs.instruments import NULL_INSTRUMENTS
 from .config import LivenessParams
 from .edges import MergeView, Predicate, MATCH_ALL
 from .lattice import K
@@ -144,6 +145,9 @@ class _PubendState:
         self.tracked: List[TickRange] = []
         self.nacks_sent = 0
         self.nack_ticks_sent = 0
+        #: Doubt-horizon gauge child; replaced by the owning manager when
+        #: it runs with a live instrument registry.
+        self.m_doubt_horizon: Any = NULL_INSTRUMENTS.gauge("")
 
     def untracked(self, ranges: Sequence[TickRange]) -> List[TickRange]:
         return subtract_ranges(ranges, self.tracked)
@@ -184,9 +188,39 @@ class SubendManager:
     :meth:`on_periodic` from a coarse timer for DCT checks.
     """
 
-    def __init__(self, services: SubendServices, params: LivenessParams):
+    def __init__(
+        self,
+        services: SubendServices,
+        params: LivenessParams,
+        instruments: Any = NULL_INSTRUMENTS,
+        node: str = "",
+    ):
         self.services = services
         self.params = params
+        self._instruments = instruments
+        self._node = node
+        labels = {"broker": node}
+        self._m_deliveries = instruments.counter(
+            "repro_subend_deliveries_total",
+            help="Messages delivered to subscribing clients at this SHB.",
+            **labels,
+        )
+        self._m_gaps = instruments.counter(
+            "repro_subend_gaps_detected_total",
+            help="Fresh Q gaps that started a GCT timer.",
+            **labels,
+        )
+        self._m_nacks_sent = instruments.counter(
+            "repro_subend_nacks_sent_total",
+            help="Nack messages sent upstream (first sends and NRT repeats).",
+            **labels,
+        )
+        self._m_nack_ticks = instruments.counter(
+            "repro_subend_nack_ticks_total",
+            help="Cumulative ticks requested by nacks (the paper's "
+            "nack range).",
+            **labels,
+        )
         self._states: Dict[str, _PubendState] = {}
         self._subscriptions: Dict[str, Subscription] = {}
         self._groups: Dict[Tuple[str, ...], _TotalOrderGroup] = {}
@@ -208,7 +242,14 @@ class SubendManager:
     def attach_stream(self, pubend: str, stream: Stream) -> None:
         """Register the broker's istream for ``pubend`` with this subend."""
         if pubend not in self._states:
-            self._states[pubend] = _PubendState(pubend, stream, self.params)
+            state = _PubendState(pubend, stream, self.params)
+            state.m_doubt_horizon = self._instruments.gauge(
+                "repro_subend_doubt_horizon_tick",
+                help="First tick still in doubt for this istream.",
+                broker=self._node,
+                pubend=pubend,
+            )
+            self._states[pubend] = state
 
     def has_pubend(self, pubend: str) -> bool:
         return pubend in self._states
@@ -274,6 +315,7 @@ class SubendManager:
         self._settle_curiosity(state)
         self._deliver_publisher_order(state)
         self._deliver_total_order(pubend)
+        state.m_doubt_horizon.set(float(state.stream.knowledge.doubt_horizon()))
         # A total-order group's horizon may have advanced, unblocking acks
         # for *other* member pubends, so re-evaluate every state.
         for other in self._states.values():
@@ -315,6 +357,7 @@ class SubendManager:
                         subscription.subscriber, state.pubend, tick, payload
                     )
                     self.delivered_count += 1
+                    self._m_deliveries.inc()
         state.delivered_horizon = horizon
 
     def _deliver_total_order(self, pubend: str) -> None:
@@ -332,6 +375,7 @@ class SubendManager:
                         subscription.subscriber, source, tick, payload
                     )
                     self.delivered_count += 1
+                    self._m_deliveries.inc()
             group.delivered_horizon = horizon
 
     def _pubend_of_tick(self, group: _TotalOrderGroup, tick: Tick) -> str:
@@ -401,6 +445,7 @@ class SubendManager:
         fresh = state.untracked(gaps)
         if not fresh:
             return
+        self._m_gaps.inc(len(fresh))
         pending = _PendingGap(ranges=fresh)
         pending.timer = self.services.schedule(
             self.params.gct, lambda: self._gct_expired(state, pending)
@@ -432,6 +477,8 @@ class SubendManager:
             self.services.send_nack(state.pubend, [piece])
             state.nacks_sent += 1
             state.nack_ticks_sent += len(piece)
+            self._m_nacks_sent.inc()
+            self._m_nack_ticks.inc(len(piece))
             record = _NackRecord(ranges=[piece], first_sent=now, last_sent=now)
             record.timer = self.services.schedule(
                 state.estimator.interval(),
@@ -460,6 +507,8 @@ class SubendManager:
             self.services.send_nack(state.pubend, [rng])
             state.nacks_sent += 1
             state.nack_ticks_sent += len(rng)
+            self._m_nacks_sent.inc()
+            self._m_nack_ticks.inc(len(rng))
         record.attempts += 1
         record.last_sent = now
         record.timer = self.services.schedule(

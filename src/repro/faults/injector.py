@@ -20,7 +20,6 @@ scripts are declarative and deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..topology import System

@@ -18,10 +18,9 @@ comparisons, the shape real subscription populations are dominated by.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 from .ast import (
-    And,
     Comparison,
     Exists,
     FalseP,

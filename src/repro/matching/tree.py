@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
-from .ast import And, Comparison, Exists, Predicate, TrueP, conjoin
+from .ast import Comparison, Predicate, TrueP, conjoin
 from .engine import Matcher, _flatten_conjunction
 
 __all__ = ["MatchingTree"]

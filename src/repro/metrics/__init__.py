@@ -3,10 +3,32 @@
 from .cpu import CostModel, CpuAccountant
 from .recorder import (
     LatencyRecorder,
-    MetricsHub,
     NackRecorder,
     Sample,
     Series,
     median,
     percentile,
 )
+
+__all__ = [
+    "CostModel",
+    "CpuAccountant",
+    "LatencyRecorder",
+    "MetricsHub",
+    "NackRecorder",
+    "Sample",
+    "Series",
+    "median",
+    "percentile",
+]
+
+
+def __getattr__(name: str):
+    # Deprecated: MetricsHub lives in repro.obs now.  The shim in
+    # .recorder emits the DeprecationWarning; stay lazy here so plain
+    # ``import repro.metrics`` never warns.
+    if name == "MetricsHub":
+        from . import recorder
+
+        return recorder.MetricsHub
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

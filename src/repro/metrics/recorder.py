@@ -11,6 +11,7 @@ the summary tables.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -31,7 +32,15 @@ def median(values: Sequence[float]) -> float:
 
 
 def percentile(values: Sequence[float], pct: float) -> float:
-    """Nearest-rank percentile of a non-empty sequence."""
+    """Linearly interpolated percentile of a non-empty sequence.
+
+    The rank ``pct/100 * (n-1)`` is interpolated between its two
+    neighbouring order statistics (numpy's default ``linear`` method),
+    so ``pct=0`` is the minimum, ``pct=100`` the maximum, and a
+    single-element sequence returns that element for any ``pct``.
+    Raises ``ValueError`` on an empty sequence or ``pct`` outside
+    ``[0, 100]``.
+    """
     if not values:
         raise ValueError("percentile of empty sequence")
     if not 0.0 <= pct <= 100.0:
@@ -168,17 +177,18 @@ class NackRecorder:
         return sorted(self._series)
 
 
-class MetricsHub:
-    """All recorders of one experiment, injected into brokers/clients."""
+def __getattr__(name: str):
+    # Deprecated: MetricsHub moved to repro.obs.hub when the unified
+    # observability layer was introduced (it is owned by Observability
+    # now).  The old import path keeps working, with a warning.
+    if name == "MetricsHub":
+        warnings.warn(
+            "repro.metrics.recorder.MetricsHub moved to repro.obs.hub; "
+            "import it from repro.obs (or repro) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..obs.hub import MetricsHub
 
-    def __init__(self) -> None:
-        self.latency = LatencyRecorder()
-        self.nacks = NackRecorder()
-        self.counters: Dict[str, int] = {}
-        self.custom: Dict[str, Series] = {}
-
-    def bump(self, counter: str, by: int = 1) -> None:
-        self.counters[counter] = self.counters.get(counter, 0) + by
-
-    def series(self, name: str) -> Series:
-        return self.custom.setdefault(name, Series(name))
+        return MetricsHub
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,61 @@
+"""Unified observability: instruments, exporters, series hub, tracing.
+
+One coherent API over the three measurement channels the paper's
+evaluation uses (latency series, nack counts, nack ranges) plus the
+production-style instruments the reproduction grew on top of them:
+
+* :class:`Instruments` — counters, gauges, fixed-bucket histograms with
+  a no-op variant (:data:`NULL_INSTRUMENTS`) for un-observed hot paths;
+* :class:`Observability` — the per-system owner (``system.obs``) that
+  also holds the legacy :class:`MetricsHub` and registered
+  :class:`~repro.metrics.cpu.CpuAccountant` / :class:`Tracer` peers;
+* :func:`prometheus_text` / :func:`json_lines` / :func:`parse_prometheus`
+  — snapshot exporters (also available via ``repro stats``).
+
+``Tracer`` is imported lazily to keep this package importable from the
+broker engine without a cycle.
+"""
+
+from .exporters import json_lines, parse_prometheus, prometheus_text, snapshot
+from .hub import MetricsHub
+from .instruments import (
+    DEFAULT_BUCKETS,
+    NULL_INSTRUMENTS,
+    TICK_RANGE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Instruments,
+    NullInstruments,
+    ScopedTimer,
+)
+from .observability import Observability
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instruments",
+    "MetricsHub",
+    "NULL_INSTRUMENTS",
+    "NullInstruments",
+    "Observability",
+    "ScopedTimer",
+    "TICK_RANGE_BUCKETS",
+    "TraceEvent",
+    "Tracer",
+    "json_lines",
+    "parse_prometheus",
+    "prometheus_text",
+    "snapshot",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: obs.trace imports broker state, which imports this package.
+    if name in ("Tracer", "TraceEvent"):
+        from . import trace
+
+        return getattr(trace, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

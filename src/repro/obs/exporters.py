@@ -1,0 +1,178 @@
+"""Snapshot exporters: Prometheus text format and JSON lines.
+
+Exporters read an :class:`~repro.obs.instruments.Instruments` registry
+(and nothing else) and render every family in a stable sorted order, so
+two snapshots of the same deterministic run are byte-identical — which is
+what lets golden-file tests pin the metric catalogue.
+
+A small parser for the Prometheus text format is included so tests (and
+users post-processing ``repro stats`` output) do not need an external
+dependency to read snapshots back.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, TextIO, Tuple
+
+from .instruments import Counter, Gauge, Histogram, Instruments
+
+__all__ = [
+    "prometheus_text",
+    "json_lines",
+    "snapshot",
+    "parse_prometheus",
+]
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_text(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def prometheus_text(instruments: Instruments) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, kind, help_text, children in instruments.families():
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for child in children:
+            if isinstance(child, Histogram):
+                for bound, cumulative in child.bucket_pairs():
+                    le = _label_text(
+                        child.labels, f'le="{_format_value(bound)}"'
+                    )
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                labels = _label_text(child.labels)
+                lines.append(f"{name}_sum{labels} {_format_value(child.sum)}")
+                lines.append(f"{name}_count{labels} {child.count}")
+            else:
+                labels = _label_text(child.labels)
+                lines.append(f"{name}{labels} {_format_value(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot(instruments: Instruments) -> List[Dict[str, Any]]:
+    """The registry as plain dicts (one per child), JSON-ready."""
+    out: List[Dict[str, Any]] = []
+    for name, kind, help_text, children in instruments.families():
+        for child in children:
+            entry: Dict[str, Any] = {
+                "name": name,
+                "type": kind,
+                "labels": dict(child.labels),
+            }
+            if isinstance(child, Histogram):
+                entry["count"] = child.count
+                entry["sum"] = child.sum
+                entry["buckets"] = [
+                    {"le": bound if bound != math.inf else "+Inf", "count": c}
+                    for bound, c in child.bucket_pairs()
+                ]
+            elif isinstance(child, (Counter, Gauge)):
+                entry["value"] = child.value
+            out.append(entry)
+    return out
+
+
+def json_lines(instruments: Instruments, out: Optional[TextIO] = None) -> str:
+    """The snapshot as JSON lines (one child per line)."""
+    text = "\n".join(
+        json.dumps(entry, sort_keys=True) for entry in snapshot(instruments)
+    )
+    text = text + "\n" if text else ""
+    if out is not None:
+        out.write(text)
+    return text
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        key = text[i:eq].strip().lstrip(",").strip()
+        assert text[eq + 1] == '"', f"malformed label at {text[i:]!r}"
+        j = eq + 2
+        value: List[str] = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                j += 1
+                value.append({"n": "\n", "\\": "\\", '"': '"'}.get(text[j], text[j]))
+            else:
+                value.append(text[j])
+            j += 1
+        labels[key] = "".join(value)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse Prometheus text format into
+    ``{family: {"type": ..., "help": ..., "samples": [(name, labels, value)]}}``.
+
+    Histogram ``_bucket``/``_sum``/``_count`` samples are attached to
+    their base family.  Raises ``ValueError`` on malformed lines, which
+    is exactly what the golden-file test wants to detect.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+
+    def family(name: str) -> Dict[str, Any]:
+        return families.setdefault(
+            name, {"type": "untyped", "help": "", "samples": []}
+        )
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            __, __, rest = line.partition("# HELP ")
+            name, __, help_text = rest.partition(" ")
+            family(name)["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            __, __, rest = line.partition("# TYPE ")
+            name, __, kind = rest.partition(" ")
+            family(name)["type"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            name = line[: line.index("{")]
+            close = line.rindex("}")
+            labels = _parse_labels(line[line.index("{") + 1 : close])
+            value_text = line[close + 1 :].strip()
+        else:
+            name, __, value_text = line.partition(" ")
+            labels = {}
+        if not name or not value_text:
+            raise ValueError(f"malformed sample line: {raw!r}")
+        value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        family(base)["samples"].append((name, labels, value))
+    return families

@@ -1,0 +1,134 @@
+"""The unified observation plane of one running system.
+
+One :class:`Observability` object per system (built by
+:meth:`repro.topology.Topology.build`, exposed as ``system.obs``) owns
+every measurement channel the evaluation uses:
+
+* **instruments** — the counter/gauge/histogram registry threaded
+  through the broker engine, pubends, subends, and simulated links;
+* **hub** — the legacy :class:`~repro.obs.hub.MetricsHub` series
+  recorders (latency and nack time series, the figures' raw data), now a
+  peer instead of a hand-wired singleton;
+* **accountants** — every broker's :class:`~repro.metrics.cpu.CpuAccountant`,
+  registered at construction, so CPU busy time appears in snapshots next
+  to the protocol counters and Figure-4 numbers agree with the exporter;
+* **tracers** — any :class:`~repro.obs.trace.Tracer` attached to the
+  system, reported as trace-volume gauges.
+
+Exporters (:func:`prometheus` / :func:`json_lines`) synchronize the
+derived gauges and render the whole registry; nothing else in the system
+needs to know how many channels exist.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from . import exporters
+from .hub import MetricsHub
+from .instruments import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Instruments,
+    ScopedTimer,
+)
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Registry-of-registries: one object owning a system's telemetry."""
+
+    def __init__(self, hub: Optional[MetricsHub] = None):
+        self.instruments = Instruments()
+        self.hub = hub if hub is not None else MetricsHub()
+        self.accountants: Dict[str, Any] = {}
+        self.tracers: List[Any] = []
+
+    # -- facade over the instrument registry ----------------------------
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        return self.instruments.counter(name, help, **labels)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        return self.instruments.gauge(name, help, **labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        boundaries: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        return self.instruments.histogram(name, help, boundaries, **labels)
+
+    def timer(
+        self,
+        name: str,
+        accountant: Any = None,
+        cost: Optional[float] = None,
+        category: str = "misc",
+        **labels: Any,
+    ) -> ScopedTimer:
+        """A :class:`ScopedTimer` over the named histogram, optionally
+        charging a CPU accountant so the cost model stays in step."""
+        histogram = self.instruments.histogram(name, **labels)
+        return ScopedTimer(
+            histogram, accountant=accountant, cost=cost, category=category
+        )
+
+    # -- peer registration ----------------------------------------------
+
+    def register_accountant(self, node_id: str, accountant: Any) -> None:
+        """Adopt a broker's CPU accountant (idempotent per node)."""
+        self.accountants[node_id] = accountant
+
+    def attach_tracer(self, tracer: Any) -> None:
+        if tracer not in self.tracers:
+            self.tracers.append(tracer)
+
+    # -- derived metrics -------------------------------------------------
+
+    def _sync_derived(self) -> None:
+        """Refresh gauges computed from registered peers at export time."""
+        for node_id, accountant in sorted(self.accountants.items()):
+            self.gauge(
+                "repro_broker_cpu_busy_seconds",
+                "Modelled CPU busy time accumulated by the broker's cost accountant",
+                broker=node_id,
+            ).set(accountant.busy_time)
+            self.gauge(
+                "repro_broker_cpu_queue_delay_seconds",
+                "Current backlog of the broker's single-server CPU work queue",
+                broker=node_id,
+            ).set(accountant.queue_delay())
+        if self.tracers:
+            self.gauge(
+                "repro_trace_events",
+                "Events recorded by tracers attached to this system",
+            ).set(float(sum(len(t) for t in self.tracers)))
+        hub = self.hub
+        self.gauge(
+            "repro_client_deliveries",
+            "Deliveries recorded by subscriber clients (MetricsHub peer)",
+        ).set(float(hub.latency.delivered))
+
+    # -- export ----------------------------------------------------------
+
+    def prometheus(self) -> str:
+        """The full snapshot in Prometheus text exposition format."""
+        self._sync_derived()
+        return exporters.prometheus_text(self.instruments)
+
+    def json_lines(self, out: Any = None) -> str:
+        """The full snapshot as JSON lines (one instrument per line);
+        also written to ``out`` when given."""
+        self._sync_derived()
+        return exporters.json_lines(self.instruments, out)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The full snapshot as plain dicts."""
+        self._sync_derived()
+        return exporters.snapshot(self.instruments)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.instruments import NULL_INSTRUMENTS
 from .scheduler import Scheduler
 
 __all__ = ["SimLink", "SimNetwork", "Node"]
@@ -67,6 +68,7 @@ class SimLink:
         jitter: float = 0.0,
         drop_probability: float = 0.0,
         bandwidth_bps: Optional[float] = None,
+        instruments: Any = NULL_INSTRUMENTS,
     ):
         if latency < 0 or jitter < 0:
             raise ValueError("latency and jitter must be non-negative")
@@ -84,6 +86,47 @@ class SimLink:
         self.stats = LinkStats()
         #: Serialization cursors per direction (time the pipe frees up).
         self._free_at: Dict[str, float] = {a.node_id: 0.0, b.node_id: 0.0}
+        #: Per-direction sequence numbers for reorder detection: a
+        #: delivery whose send sequence is below the highest already
+        #: delivered in that direction overtook it on the wire.
+        self._send_seq: Dict[str, int] = {a.node_id: 0, b.node_id: 0}
+        self._max_delivered_seq: Dict[str, int] = {a.node_id: -1, b.node_id: -1}
+        name = "-".join(sorted((a.node_id, b.node_id)))
+        labels = {"link": name}
+        self._m_sent = instruments.counter(
+            "repro_network_sent_total",
+            help="Messages handed to this link (either direction).",
+            **labels,
+        )
+        self._m_delivered = instruments.counter(
+            "repro_network_delivered_total",
+            help="Messages delivered to the far endpoint.",
+            **labels,
+        )
+        self._m_dropped = {
+            reason: instruments.counter(
+                "repro_network_dropped_total",
+                help="Messages lost on this link, by cause.",
+                reason=reason,
+                **labels,
+            )
+            for reason in ("random", "down", "stalled")
+        }
+        self._m_reordered = instruments.counter(
+            "repro_network_reordered_total",
+            help="Deliveries that overtook an earlier send (jitter).",
+            **labels,
+        )
+        self._m_in_flight = instruments.gauge(
+            "repro_network_in_flight",
+            help="Messages currently on the wire.",
+            **labels,
+        )
+        self._m_bytes = instruments.counter(
+            "repro_network_bytes_sent_total",
+            help="Bytes handed to this link (either direction).",
+            **labels,
+        )
 
     def endpoints(self) -> Tuple[str, str]:
         return (self.a.node_id, self.b.node_id)
@@ -125,14 +168,19 @@ class SimLink:
         destination = self.other(src_id)
         self.stats.sent += 1
         self.stats.bytes_sent += size_bytes
+        self._m_sent.inc()
+        self._m_bytes.inc(size_bytes)
         if not self.up:
             self.stats.dropped_down += 1
+            self._m_dropped["down"].inc()
             return False
         if self.stalled:
             self.stats.dropped_stalled += 1
+            self._m_dropped["stalled"].inc()
             return False
         if self.drop_probability and self.scheduler.rng.random() < self.drop_probability:
             self.stats.dropped_random += 1
+            self._m_dropped["random"].inc()
             return True
         delay = self.latency
         if self.jitter:
@@ -142,25 +190,40 @@ class SimLink:
             start = max(self.scheduler.now, self._free_at[src_id])
             self._free_at[src_id] = start + serialization
             delay += (start + serialization) - self.scheduler.now
-        self.scheduler.call_later(delay, lambda: self._deliver(src_id, destination, message))
+        seq = self._send_seq[src_id]
+        self._send_seq[src_id] = seq + 1
+        self._m_in_flight.inc()
+        self.scheduler.call_later(
+            delay, lambda: self._deliver(src_id, destination, message, seq)
+        )
         return True
 
-    def _deliver(self, src_id: str, destination: "Node", message: Any) -> None:
+    def _deliver(
+        self, src_id: str, destination: "Node", message: Any, seq: int = 0
+    ) -> None:
+        self._m_in_flight.dec()
         if not self.up:
             # The link died while the message was in flight.
             self.stats.dropped_down += 1
+            self._m_dropped["down"].inc()
             return
         if not destination.alive:
             return
         self.stats.delivered += 1
+        self._m_delivered.inc()
+        if seq < self._max_delivered_seq[src_id]:
+            self._m_reordered.inc()
+        else:
+            self._max_delivered_seq[src_id] = seq
         destination.receive(src_id, message)
 
 
 class SimNetwork:
     """The set of nodes and links of one simulation."""
 
-    def __init__(self, scheduler: Scheduler):
+    def __init__(self, scheduler: Scheduler, instruments: Any = NULL_INSTRUMENTS):
         self.scheduler = scheduler
+        self.instruments = instruments
         self.nodes: Dict[str, Node] = {}
         self._links: Dict[Tuple[str, str], SimLink] = {}
 
@@ -180,6 +243,7 @@ class SimNetwork:
         key = self._key(a, b)
         if key in self._links:
             raise ValueError(f"link {key} already exists")
+        link_params.setdefault("instruments", self.instruments)
         link = SimLink(self.scheduler, self.nodes[a], self.nodes[b], **link_params)
         self._links[key] = link
         return link

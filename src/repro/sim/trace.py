@@ -1,199 +1,27 @@
-"""Structured event tracing for simulated runs.
+"""Deprecated location of the structured tracer.
 
-Debugging a distributed protocol means asking "what exactly happened, in
-order?"  A :class:`Tracer` hooks a built
-:class:`~repro.topology.System` and records a timestamped, structured
-event stream: every broker-to-broker send, every client delivery, every
-publish, and every fault — without changing the run's behaviour (hooks
-wrap, then delegate).
-
-Traces support filtering, textual rendering, and JSON-lines export, and
-are deterministic for a deterministic run, so two traces of the same seed
-can be diffed to localize a regression.
+The tracer moved to :mod:`repro.obs.trace` when the unified
+observability layer was introduced; it is an observation concern, not a
+simulation one.  Importing ``Tracer``/``TraceEvent`` from here still
+works but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, TextIO
-
-from ..broker.state import Envelope, LinkStatusMessage
-from ..core.messages import (
-    AckExpectedMessage,
-    AckMessage,
-    KnowledgeMessage,
-    NackMessage,
-)
+import warnings
 
 __all__ = ["TraceEvent", "Tracer"]
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One recorded event."""
-
-    t: float
-    kind: str
-    node: str
-    detail: Dict[str, Any] = field(default_factory=dict)
-
-    def render(self) -> str:
-        parts = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
-        return f"{self.t:10.4f}  {self.kind:<12} {self.node:<6} {parts}"
-
-    def to_json(self) -> str:
-        return json.dumps(
-            {"t": self.t, "kind": self.kind, "node": self.node, **self.detail}
+def __getattr__(name: str):
+    if name in __all__:
+        warnings.warn(
+            f"repro.sim.trace.{name} moved to repro.obs.trace; "
+            "import it from repro.obs (or repro) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from ..obs import trace
 
-
-def _describe_message(message: Any) -> Dict[str, Any]:
-    if isinstance(message, Envelope):
-        inner = _describe_message(message.payload)
-        if message.sideways:
-            inner["sideways"] = True
-        if message.target_cell:
-            inner["target_cell"] = message.target_cell
-        return inner
-    if isinstance(message, KnowledgeMessage):
-        return {
-            "msg": "retransmit" if message.retransmit else "knowledge",
-            "pubend": message.pubend,
-            "d": len(message.data),
-            "fin": message.fin_prefix,
-            "f_runs": len(message.f_ranges),
-        }
-    if isinstance(message, AckMessage):
-        return {"msg": "ack", "pubend": message.pubend, "up_to": message.up_to}
-    if isinstance(message, NackMessage):
-        return {
-            "msg": "nack",
-            "pubend": message.pubend,
-            "ticks": message.tick_count(),
-        }
-    if isinstance(message, AckExpectedMessage):
-        return {"msg": "ack_expected", "pubend": message.pubend, "up_to": message.up_to}
-    if isinstance(message, LinkStatusMessage):
-        return {"msg": "link_status", "cells": len(message.reachable_cells)}
-    return {"msg": type(message).__name__}
-
-
-class Tracer:
-    """Records a structured event stream from a simulated system."""
-
-    def __init__(self, system, capture_link_status: bool = False):
-        self.system = system
-        self.capture_link_status = capture_link_status
-        self.events: List[TraceEvent] = []
-        self._installed = False
-        self._original_sends: Dict[str, Callable] = {}
-
-    # -- hook installation ------------------------------------------------
-
-    def install(self) -> "Tracer":
-        """Wrap every broker's send and delivery paths (idempotent)."""
-        if self._installed:
-            return self
-        self._installed = True
-        for broker_id, broker in self.system.brokers.items():
-            self._wrap_broker(broker)
-        return self
-
-    def _wrap_broker(self, broker) -> None:
-        original_send = broker.send
-        tracer = self
-
-        def traced_send(dst: str, message: Any, size_bytes: int = 100):
-            described = _describe_message(message)
-            if described.get("msg") != "link_status" or tracer.capture_link_status:
-                tracer._record(
-                    "send", broker.node_id, dict(described, to=dst)
-                )
-            return original_send(dst, message, size_bytes)
-
-        broker.send = traced_send
-        self._original_sends[broker.node_id] = original_send
-
-        if hasattr(broker, "deliver_to_client"):
-            original_deliver = broker.deliver_to_client
-
-            def traced_deliver(subscriber, pubend, tick, payload):
-                tracer._record(
-                    "deliver",
-                    broker.node_id,
-                    {"subscriber": subscriber, "pubend": pubend, "tick": tick},
-                )
-                return original_deliver(subscriber, pubend, tick, payload)
-
-            broker.deliver_to_client = traced_deliver
-
-        if hasattr(broker, "publish"):
-            original_publish = broker.publish
-
-            def traced_publish(pubend_id, payload):
-                tick = original_publish(pubend_id, payload)
-                tracer._record(
-                    "publish",
-                    broker.node_id,
-                    {"pubend": pubend_id, "tick": tick, "ok": tick is not None},
-                )
-                return tick
-
-            broker.publish = traced_publish
-
-    def record_fault(self, description: str) -> None:
-        """Faults are recorded by the caller (the injector acts on links
-        and processes directly)."""
-        self._record("fault", "-", {"what": description})
-
-    def _record(self, kind: str, node: str, detail: Dict[str, Any]) -> None:
-        self.events.append(
-            TraceEvent(self.system.scheduler.now, kind, node, detail)
-        )
-
-    # -- queries ------------------------------------------------------------
-
-    def __len__(self) -> int:
-        return len(self.events)
-
-    def filter(
-        self,
-        kind: Optional[str] = None,
-        node: Optional[str] = None,
-        msg: Optional[str] = None,
-        t0: float = float("-inf"),
-        t1: float = float("inf"),
-    ) -> List[TraceEvent]:
-        out = []
-        for event in self.events:
-            if kind is not None and event.kind != kind:
-                continue
-            if node is not None and event.node != node:
-                continue
-            if msg is not None and event.detail.get("msg") != msg:
-                continue
-            if not t0 <= event.t < t1:
-                continue
-            out.append(event)
-        return out
-
-    def render(self, events: Optional[Iterable[TraceEvent]] = None) -> str:
-        chosen = list(events) if events is not None else self.events
-        return "\n".join(event.render() for event in chosen)
-
-    def write_jsonl(self, out: TextIO) -> int:
-        for event in self.events:
-            out.write(event.to_json() + "\n")
-        return len(self.events)
-
-    def counts(self) -> Dict[str, int]:
-        """Event counts by (kind, msg) — a run's traffic fingerprint."""
-        out: Dict[str, int] = {}
-        for event in self.events:
-            key = event.kind
-            msg = event.detail.get("msg")
-            if msg:
-                key = f"{key}:{msg}"
-            out[key] = out.get(key, 0) + 1
-        return out
+        return getattr(trace, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -20,6 +20,7 @@ Two canned topologies reproduce the paper's setups:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -29,10 +30,10 @@ from .core.config import LivenessParams
 from .core.edges import FilterEdge, MATCH_ALL
 from .core.subend import Subscription
 from .client import PublisherClient, SubscriberClient
-from .matching.ast import Predicate
 from .matching.parser import parse
 from .metrics.cpu import CostModel
-from .metrics.recorder import MetricsHub
+from .obs.hub import MetricsHub
+from .obs.observability import Observability
 from .sim.network import SimNetwork
 from .sim.scheduler import Scheduler
 from .storage.log import MemoryLog, MessageLog
@@ -109,6 +110,7 @@ class Topology:
         self,
         pubend_id: str,
         host_broker: str,
+        *legacy: Any,
         preassign_window: Optional[float] = None,
     ) -> "Topology":
         """Place a pubend on its hosting broker (the PHB).
@@ -117,7 +119,21 @@ class Topology:
         (section 2.2): set it to the pubend's expected publication period
         so downstream merges never wait on it.  ``None`` falls back to
         the system-wide :attr:`LivenessParams.preassign_window`.
+        It is keyword-only; passing it positionally still works but warns.
         """
+        if legacy:
+            warnings.warn(
+                "passing preassign_window positionally to Topology.pubend is "
+                "deprecated; use preassign_window=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(legacy) > 1:
+                raise TypeError(
+                    f"pubend() takes at most 3 positional arguments "
+                    f"({2 + len(legacy)} given)"
+                )
+            preassign_window = legacy[0]
         if pubend_id in self._pubends:
             raise ValueError(f"pubend {pubend_id!r} already declared")
         self._pubends[pubend_id] = _PubendDecl(
@@ -243,8 +259,9 @@ class Topology:
         """
         params = params if params is not None else LivenessParams()
         scheduler = Scheduler(seed=seed)
-        network = SimNetwork(scheduler)
-        metrics = MetricsHub()
+        obs = Observability()
+        network = SimNetwork(scheduler, instruments=obs.instruments)
+        metrics = obs.hub
         plan = self.plan()
         factory = broker_factory if broker_factory is not None else SimBroker
         brokers: Dict[str, SimBroker] = {}
@@ -258,12 +275,13 @@ class Topology:
                 metrics=metrics,
                 cost_model=cost_model,
                 client_latency=client_latency,
+                obs=obs,
             )
             network.add_node(broker)
             brokers[broker_id] = broker
         for a, b, link_params in plan.links:
             network.connect(a, b, **link_params)
-        system = System(scheduler, network, brokers, metrics, params)
+        system = System(scheduler, network, brokers, metrics, params, obs=obs)
         for pubend_id, host_broker, slot, n_slots, preassign in plan.pubends:
             if log_factory is not None:
                 log = log_factory(pubend_id)
@@ -287,12 +305,16 @@ class System:
         brokers: Dict[str, SimBroker],
         metrics: MetricsHub,
         params: LivenessParams,
+        obs: Optional[Observability] = None,
     ):
         self.scheduler = scheduler
         self.network = network
         self.brokers = brokers
         self.metrics = metrics
         self.params = params
+        #: Unified observability: instrument registry, recorders, CPU
+        #: accountants and tracers behind one object (``system.obs``).
+        self.obs = obs if obs is not None else Observability(hub=metrics)
         self.pubend_hosts: Dict[str, str] = {}
         self.publishers: List[PublisherClient] = []
         self.subscribers: Dict[str, SubscriberClient] = {}
@@ -326,14 +348,29 @@ class System:
         broker_id: str,
         pubends: Tuple[str, ...],
         predicate: Any = None,
+        *legacy: Any,
         total_order: bool = False,
     ) -> SubscriberClient:
         """Attach a subscriber client at an SHB.
 
         ``predicate`` may be a subscription string (parsed), an AST
         :class:`~repro.matching.ast.Predicate`, a plain callable, or
-        ``None`` (match everything).
+        ``None`` (match everything).  ``total_order`` is keyword-only;
+        passing it positionally still works but warns.
         """
+        if legacy:
+            warnings.warn(
+                "passing total_order positionally to System.subscribe is "
+                "deprecated; use total_order=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(legacy) > 1:
+                raise TypeError(
+                    f"subscribe() takes at most 5 positional arguments "
+                    f"({5 + len(legacy)} given)"
+                )
+            total_order = legacy[0]
         if isinstance(predicate, str):
             predicate = parse(predicate)
         elif predicate is None:
@@ -362,12 +399,17 @@ class System:
         for broker in self.brokers.values():
             broker.start()
 
-    def run_until(self, deadline: float) -> None:
+    def run_until(self, deadline: float) -> float:
+        """Run the simulation up to ``deadline``; returns the final
+        simulated time."""
         self.start()
         self.scheduler.run_until(deadline)
+        return self.scheduler.now
 
-    def run_for(self, duration: float) -> None:
-        self.run_until(self.scheduler.now + duration)
+    def run_for(self, duration: float) -> float:
+        """Run for ``duration`` simulated seconds; returns the final
+        simulated time."""
+        return self.run_until(self.scheduler.now + duration)
 
     @property
     def now(self) -> float:

@@ -3,8 +3,6 @@
 import asyncio
 import math
 
-import pytest
-
 from repro.aio.runtime import AioSystem
 from repro.aio.transport import LocalTransport
 from repro.client import DeliveryChecker

@@ -3,13 +3,10 @@
 import asyncio
 import math
 
-import pytest
-
 from repro.aio.runtime import AioSystem
 from repro.aio.transport import LocalTransport, TcpTransport
 from repro.client import DeliveryChecker
 from repro.core.config import LivenessParams
-from repro.core.subend import Subscription
 from repro.topology import two_broker_topology
 
 # Tight liveness settings so wall-clock tests stay fast.

@@ -1,12 +1,9 @@
 """Tests for the best-effort baseline: delivers when healthy, loses
 messages under failure (unlike GD), and costs less."""
 
-import pytest
-
 from repro.baselines.best_effort import BestEffortBroker
 from repro.client import DeliveryChecker
-from repro.faults.injector import FaultInjector
-from repro.topology import two_broker_topology, figure3_topology, balanced_pubend_names
+from repro.topology import two_broker_topology
 
 
 def be_system(**kw):

@@ -1,7 +1,5 @@
 """Tests for the DCP-like store-and-forward baseline."""
 
-import pytest
-
 from repro.baselines.store_forward import StoreForwardBroker
 from repro.client import DeliveryChecker
 from repro.topology import two_broker_topology

@@ -5,15 +5,13 @@ lazy silence bracketing, retransmission targeting, nack satisfaction and
 consolidation, ack consolidation, link selection, and sideways routing.
 """
 
-import math
-
 import pytest
 
 from repro.broker.engine import BrokerServices, GDBrokerEngine, stable_hash
 from repro.broker.state import BrokerTopologyInfo, Envelope, LinkStatusMessage, PubendRoute
 from repro.core.config import LivenessParams
 from repro.core.edges import FilterEdge, MATCH_ALL
-from repro.core.lattice import C, K
+from repro.core.lattice import K
 from repro.core.messages import (
     AckExpectedMessage,
     AckMessage,

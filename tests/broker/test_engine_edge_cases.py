@@ -4,14 +4,13 @@ silence rules, curiosity bookkeeping, timers, and counters."""
 import pytest
 
 from repro.broker.engine import GDBrokerEngine
-from repro.broker.state import BrokerTopologyInfo, Envelope, PubendRoute
+from repro.broker.state import Envelope
 from repro.core.config import LivenessParams
-from repro.core.edges import FilterEdge, MATCH_ALL
-from repro.core.lattice import C, K
+from repro.core.edges import MATCH_ALL
+from repro.core.lattice import C
 from repro.core.messages import (
     AckExpectedMessage,
     AckMessage,
-    DataTick,
     KnowledgeMessage,
     NackMessage,
 )

@@ -1,8 +1,6 @@
 """Unit tests of the simulator-hosted broker: lifecycle, CPU accounting,
 client fan-out scheduling."""
 
-import pytest
-
 from repro.broker.simbroker import SimBroker, SubscriberHooks
 from repro.broker.state import BrokerTopologyInfo, PubendRoute
 from repro.core.config import LivenessParams

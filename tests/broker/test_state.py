@@ -1,14 +1,10 @@
 """Unit tests for broker soft state and envelopes."""
 
-import pytest
-
 from repro.broker.state import (
     BrokerTopologyInfo,
     Envelope,
-    IStream,
     LinkStatusMessage,
     OStream,
-    PubendRoute,
 )
 from repro.core.edges import FilterEdge, MATCH_ALL
 from repro.core.messages import AckMessage, DataTick, KnowledgeMessage

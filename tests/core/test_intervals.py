@@ -5,7 +5,6 @@ the IntervalMap must be observationally identical while maintaining its
 coalescing invariants.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,14 +1,10 @@
 """End-to-end integration tests on full simulated systems (failure-free)."""
 
-import pytest
-
 from repro import (
     DeliveryChecker,
-    LivenessParams,
     figure3_topology,
     two_broker_topology,
 )
-from repro.topology import Topology
 
 
 def simple_system(**build_kw):

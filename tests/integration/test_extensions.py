@@ -8,10 +8,7 @@
 
 import math
 
-import pytest
-
 from repro import DeliveryChecker, LivenessParams
-from repro.core.subend import Subscription
 from repro.topology import balanced_pubend_names, figure3_topology, two_broker_topology
 
 

@@ -1,8 +1,6 @@
 """Fault-injection integration tests: the paper's section 4.2 scenarios
 plus harsher conditions (lossy links, repeated faults, log recovery)."""
 
-import pytest
-
 from repro import DeliveryChecker, FaultInjector, PAPER_FAULT_PARAMS, figure3_topology
 from repro.topology import Topology, balanced_pubend_names, two_broker_topology
 

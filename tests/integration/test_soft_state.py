@@ -9,8 +9,6 @@ every stream's run-length footprint and payload count stay bounded and
 that the pubend log is continuously truncated.
 """
 
-import pytest
-
 from repro import LivenessParams
 from repro.topology import balanced_pubend_names, figure3_topology, two_broker_topology
 

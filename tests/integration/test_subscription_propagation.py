@@ -1,8 +1,6 @@
 """Integration tests for subscription propagation: edge filters derived
 dynamically from the subscriptions below each path."""
 
-import pytest
-
 from repro import DeliveryChecker, LivenessParams
 from repro.sim.trace import Tracer
 from repro.topology import Topology, balanced_pubend_names, figure3_topology

@@ -5,7 +5,6 @@ verified exhaustively on hand-picked corner cases and via hypothesis over
 generated subscription sets and events.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

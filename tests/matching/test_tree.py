@@ -1,7 +1,6 @@
 """Tests for the PODC '99 parallel matching tree, including differential
 testing against the brute-force matcher."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

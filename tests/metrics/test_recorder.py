@@ -35,6 +35,27 @@ class TestReducers:
     def test_percentile_bounds(self):
         with pytest.raises(ValueError):
             percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([1], -0.5)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_percentile_single_sample_any_pct(self):
+        for pct in (0, 37.5, 50, 100):
+            assert percentile([42.0], pct) == 42.0
+
+    def test_percentile_extremes_are_min_and_max(self):
+        values = [9.0, -3.0, 4.0]
+        assert percentile(values, 0) == -3.0
+        assert percentile(values, 100) == 9.0
+
+    def test_percentile_linear_interpolation(self):
+        # rank = pct/100 * (n-1); 25% of [0, 10] interpolates, it does
+        # not snap to the nearest rank.
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
 
 
 class TestSeries:

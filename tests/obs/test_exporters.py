@@ -1,0 +1,108 @@
+"""Exporter format validity and parser round-trips."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    json_lines,
+    parse_prometheus,
+    prometheus_text,
+    snapshot,
+)
+from repro.obs.instruments import Instruments
+
+
+def make_registry() -> Instruments:
+    reg = Instruments()
+    reg.counter("repro_x_total", help="Things counted.", broker="b1").inc(3)
+    reg.counter("repro_x_total", broker="b2").inc(1)
+    reg.gauge("repro_depth", help="A depth.").set(2.5)
+    h = reg.histogram("repro_lat", help="Latency.", boundaries=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(10.0)
+    return reg
+
+
+class TestPrometheusText:
+    def test_format_shape(self):
+        text = prometheus_text(make_registry())
+        lines = text.splitlines()
+        assert "# HELP repro_x_total Things counted." in lines
+        assert "# TYPE repro_x_total counter" in lines
+        assert 'repro_x_total{broker="b1"} 3' in lines
+        assert 'repro_x_total{broker="b2"} 1' in lines
+        assert "# TYPE repro_depth gauge" in lines
+        assert "repro_depth 2.5" in lines
+        assert "# TYPE repro_lat histogram" in lines
+        assert 'repro_lat_bucket{le="0.1"} 1' in lines
+        assert 'repro_lat_bucket{le="1"} 2' in lines
+        assert 'repro_lat_bucket{le="+Inf"} 3' in lines
+        assert "repro_lat_sum 10.55" in lines
+        assert "repro_lat_count 3" in lines
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        reg = Instruments()
+        reg.counter("c_total", link='a"b\\c\nd').inc()
+        text = prometheus_text(reg)
+        parsed = parse_prometheus(text)
+        (_, labels, value), = parsed["c_total"]["samples"]
+        assert labels == {"link": 'a"b\\c\nd'}
+        assert value == 1.0
+
+    def test_deterministic_output(self):
+        assert prometheus_text(make_registry()) == prometheus_text(make_registry())
+
+
+class TestParsePrometheus:
+    def test_round_trip(self):
+        reg = make_registry()
+        families = parse_prometheus(prometheus_text(reg))
+        assert set(families) == {"repro_x_total", "repro_depth", "repro_lat"}
+        assert families["repro_x_total"]["type"] == "counter"
+        assert families["repro_x_total"]["help"] == "Things counted."
+        values = {
+            labels["broker"]: value
+            for _, labels, value in families["repro_x_total"]["samples"]
+        }
+        assert values == {"b1": 3.0, "b2": 1.0}
+        # Histogram samples attach to the base family.
+        lat = families["repro_lat"]
+        names = {name for name, _, _ in lat["samples"]}
+        assert names == {"repro_lat_bucket", "repro_lat_sum", "repro_lat_count"}
+        inf_bucket = [
+            value for name, labels, value in lat["samples"]
+            if name == "repro_lat_bucket" and labels.get("le") == "+Inf"
+        ]
+        assert inf_bucket == [3.0]
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this_is_a_name_with_no_value\n")
+
+
+class TestJsonExports:
+    def test_snapshot_entries(self):
+        entries = snapshot(make_registry())
+        by_name = {}
+        for entry in entries:
+            by_name.setdefault(entry["name"], []).append(entry)
+        assert len(by_name["repro_x_total"]) == 2
+        (lat,) = by_name["repro_lat"]
+        assert lat["count"] == 3
+        assert lat["buckets"][-1] == {"le": "+Inf", "count": 3}
+
+    def test_json_lines_parse_and_write(self):
+        buffer = io.StringIO()
+        text = json_lines(make_registry(), buffer)
+        assert buffer.getvalue() == text
+        parsed = [json.loads(line) for line in text.splitlines()]
+        assert len(parsed) == len(snapshot(make_registry()))
+        assert all("name" in entry and "type" in entry for entry in parsed)
+
+    def test_empty_registry(self):
+        assert json_lines(Instruments()) == ""
+        assert prometheus_text(Instruments()) == "\n"

@@ -1,0 +1,162 @@
+"""The Observability facade, system wiring, and API-migration shims."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.obs import Observability
+from repro.obs.hub import MetricsHub
+from repro.topology import two_broker_topology
+
+
+def small_system(seed=3):
+    topo = two_broker_topology()
+    topo.pubend("P0", "phb")
+    topo.route("P0", "PHB", "SHB")
+    return topo.build(seed=seed)
+
+
+class TestFacade:
+    def test_counter_gauge_histogram_and_timer(self):
+        obs = Observability()
+        obs.counter("c_total", broker="x").inc(4)
+        obs.gauge("g").set(1.5)
+        obs.histogram("h", boundaries=(1.0,)).observe(0.5)
+        with obs.timer("t_seconds"):
+            pass
+        assert obs.instruments.total("c_total") == 4.0
+        assert obs.instruments.get("g").value == 1.5
+        assert obs.instruments.get("t_seconds").count == 1
+
+    def test_owns_a_hub_or_adopts_one(self):
+        hub = MetricsHub()
+        assert Observability(hub=hub).hub is hub
+        assert isinstance(Observability().hub, MetricsHub)
+
+    def test_derived_gauges_from_accountants(self):
+        class Acct:
+            busy_time = 1.25
+
+            def queue_delay(self):
+                return 0.5
+
+        obs = Observability()
+        obs.register_accountant("b1", Acct())
+        text = obs.prometheus()
+        assert 'repro_broker_cpu_busy_seconds{broker="b1"} 1.25' in text
+        assert 'repro_broker_cpu_queue_delay_seconds{broker="b1"} 0.5' in text
+
+
+class TestSystemWiring:
+    def test_system_exposes_obs(self):
+        system = small_system()
+        assert isinstance(system.obs, Observability)
+        # The hub and the legacy system.metrics are the same object.
+        assert system.obs.hub is system.metrics
+        # Every broker shares the system registry and registered its
+        # accountant.
+        for broker in system.brokers.values():
+            assert broker.obs is system.obs
+        assert set(system.obs.accountants) == set(system.brokers)
+
+    def test_restarted_engine_keeps_counting(self):
+        system = small_system()
+        pub = system.publisher("P0", rate=50.0)
+        pub.start(at=0.1)
+        system.subscribe("a", "shb", ("P0",))
+        system.run_until(1.0)
+        counter = system.obs.instruments.get(
+            "repro_broker_knowledge_sent_total", broker="phb"
+        )
+        before = counter.value
+        assert before > 0
+        system.brokers["phb"].crash()
+        system.run_for(0.2)
+        system.brokers["phb"].restart()
+        system.run_until(3.0)
+        # Same child object, monotone across the restart.
+        assert system.obs.instruments.get(
+            "repro_broker_knowledge_sent_total", broker="phb"
+        ) is counter
+        assert counter.value > before
+
+    def test_run_until_and_run_for_return_final_time(self):
+        system = small_system()
+        assert system.run_until(1.5) == pytest.approx(1.5)
+        assert system.run_for(0.5) == pytest.approx(2.0)
+
+    def test_tracer_registers_with_obs(self):
+        from repro.obs.trace import Tracer
+
+        system = small_system()
+        tracer = Tracer(system)
+        assert tracer in system.obs.tracers
+
+
+class TestDeprecationShims:
+    def test_metricshub_old_import_path_warns(self):
+        from repro.metrics import recorder
+
+        with pytest.warns(DeprecationWarning, match="moved to repro.obs.hub"):
+            old = recorder.MetricsHub
+        assert old is MetricsHub
+
+    def test_metricshub_from_metrics_package_warns(self):
+        import repro.metrics
+
+        with pytest.warns(DeprecationWarning):
+            old = repro.metrics.MetricsHub
+        assert old is MetricsHub
+
+    def test_tracer_old_import_path_warns(self):
+        from repro.obs.trace import TraceEvent, Tracer
+        from repro.sim import trace as old_trace
+
+        with pytest.warns(DeprecationWarning, match="moved to repro.obs.trace"):
+            assert old_trace.Tracer is Tracer
+        with pytest.warns(DeprecationWarning):
+            assert old_trace.TraceEvent is TraceEvent
+
+    def test_new_import_paths_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            from repro.obs import MetricsHub as hub  # noqa: F401
+            from repro.obs import Tracer as tracer  # noqa: F401
+
+            assert repro.MetricsHub is MetricsHub
+
+
+class TestKeywordOnlyMigration:
+    def test_subscribe_positional_total_order_warns_but_works(self):
+        system = small_system()
+        with pytest.warns(DeprecationWarning, match="total_order positionally"):
+            client = system.subscribe("a", "shb", ("P0",), None, True)
+        assert system.subscriptions["a"].total_order is True
+        assert client is system.subscribers["a"]
+
+    def test_subscribe_keyword_total_order_silent(self):
+        system = small_system()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            system.subscribe("a", "shb", ("P0",), total_order=True)
+        assert system.subscriptions["a"].total_order is True
+
+    def test_subscribe_too_many_positionals_raises(self):
+        system = small_system()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                system.subscribe("a", "shb", ("P0",), None, True, "extra")
+
+    def test_pubend_positional_preassign_warns_but_works(self):
+        topo = two_broker_topology()
+        with pytest.warns(DeprecationWarning, match="preassign_window positionally"):
+            topo.pubend("P0", "phb", 0.25)
+        assert topo._pubends["P0"].preassign_window == 0.25
+
+    def test_pubend_keyword_preassign_silent(self):
+        topo = two_broker_topology()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            topo.pubend("P0", "phb", preassign_window=0.25)
+        assert topo._pubends["P0"].preassign_window == 0.25

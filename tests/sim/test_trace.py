@@ -3,8 +3,6 @@
 import io
 import json
 
-import pytest
-
 from repro.sim.trace import Tracer
 from repro.topology import two_broker_topology
 

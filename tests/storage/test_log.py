@@ -1,6 +1,5 @@
 """Unit tests for stable-storage message logs, including crash recovery."""
 
-import json
 import os
 
 import pytest

@@ -8,7 +8,6 @@ determinism, and parameter validation.
 import pytest
 
 from repro.experiments.fig45 import (
-    OverheadPoint,
     gd_minus_be,
     run_overhead_point,
     run_overhead_sweep,
