@@ -21,6 +21,19 @@ Quickstart::
     print(alice.count(), "messages delivered exactly once, in order")
 """
 
+from .check import (
+    ORACLES,
+    FuzzReport,
+    OracleFailure,
+    OracleSuite,
+    RunResult,
+    Scenario,
+    fuzz,
+    run_scenario,
+    run_seed,
+    scenario_seed,
+    shrink,
+)
 from .client import DeliveryChecker, PublisherClient, SubscriberClient
 from .core.config import INFINITY, PAPER_FAULT_PARAMS, LivenessParams
 from .core.edges import FilterEdge, MergeView, MATCH_ALL
@@ -67,6 +80,7 @@ __all__ = [
     "FaultInjector",
     "FileLog",
     "FilterEdge",
+    "FuzzReport",
     "INFINITY",
     "IndexedMatcher",
     "Instruments",
@@ -80,11 +94,16 @@ __all__ = [
     "MergeView",
     "MetricsHub",
     "NackMessage",
+    "ORACLES",
     "Observability",
+    "OracleFailure",
+    "OracleSuite",
     "PAPER_FAULT_PARAMS",
     "Predicate",
     "Pubend",
     "PublisherClient",
+    "RunResult",
+    "Scenario",
     "ScopedTimer",
     "Stream",
     "SubendManager",
@@ -97,10 +116,15 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "figure3_topology",
+    "fuzz",
     "json_lines",
     "parse_prometheus",
     "parse_subscription",
     "prometheus_text",
+    "run_scenario",
+    "run_seed",
+    "scenario_seed",
+    "shrink",
     "two_broker_topology",
     "__version__",
 ]

@@ -404,6 +404,9 @@ class GDBrokerEngine:
         if route is None and pubend not in self.istreams:
             self.bump("knowledge_unroutable")
             return
+        if envelope.sideways and envelope.target_cell is not None:
+            self._relay_sideways(envelope)
+            return
         ist = self._ensure_streams(pubend)
         if (
             src
@@ -437,6 +440,39 @@ class GDBrokerEngine:
             targets = list(cells)
         for cell in targets:
             self._propagate(ist, cells[cell], message, allow_sideways=not envelope.sideways)
+
+    def _relay_sideways(self, envelope: Envelope) -> None:
+        """Forward a cell peer's knowledge message toward its target cell.
+
+        A sideways envelope carries the *peer's per-path view* toward the
+        target cell: its F ranges include finality induced by that path's
+        acks (the F <-> A linkage) and by that path's filters.  Those are
+        assertions about one path, not about the pubend's stream, so the
+        relay must not merge them into its own istream — doing so can
+        turn a tick whose data this broker never received into dataless
+        finality, which then answers downstream curiosity with silence
+        and lets the pubend truncate an undelivered message.  Data ticks
+        are absolute facts and are cached locally for redundancy; the
+        message itself is forwarded verbatim.
+        """
+        message = envelope.payload
+        self.services.charge(0.0, "knowledge_receive")
+        self.bump("knowledge_relayed")
+        if message.data and (
+            message.pubend in self.istreams
+            or self.topo.routes.get(message.pubend) is not None
+        ):
+            ist = self._ensure_streams(message.pubend)
+            for data in message.data:
+                ist.stream.accumulate_data(data.tick, data.payload)
+                if ist.stream.curiosity.value_at(data.tick) == C.C:
+                    ist.stream.curiosity.clear_curious(TickRange.single(data.tick))
+        target = self._pick_downstream_broker(message.pubend, envelope.target_cell)
+        if target is None:
+            self.bump("knowledge_undeliverable")
+            return
+        self._m_knowledge_sent.inc()
+        self.services.send(target, Envelope(message), _knowledge_size(message))
 
     def _path_matches(self, ost: OStream, payload: Any) -> bool:
         if not ost.filter.matches(payload):
@@ -1014,6 +1050,54 @@ class GDBrokerEngine:
             },
             "streams": streams,
         }
+
+    def stream_state(self) -> Dict[str, Dict[str, Any]]:
+        """Per-pubend protocol horizons for external correctness checkers.
+
+        Unlike :meth:`stats` (memory footprint), this reports the
+        *semantic* watermarks the knowledge lattice makes monotone within
+        one broker incarnation: istream/ostream doubt horizons and final
+        prefixes, upstream-acked prefixes, and — when this broker hosts a
+        subend for the pubend — its delivery and ack horizons.  The
+        ``repro.check`` oracle suite sweeps these during fuzz runs and
+        fails loudly on any regression.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for pubend, ist in self.istreams.items():
+            knowledge = ist.stream.knowledge
+            entry: Dict[str, Any] = {
+                "istream": {
+                    "doubt_horizon": knowledge.doubt_horizon(),
+                    "final_prefix": knowledge.final_prefix(),
+                    "horizon": knowledge.horizon(),
+                    "acked_upstream": ist.acked_upstream,
+                },
+                "ostreams": {},
+                "subend": None,
+                "pubend": None,
+            }
+            for cell, ost in self.ostreams.get(pubend, {}).items():
+                ost_knowledge = ost.stream.knowledge
+                entry["ostreams"][cell] = {
+                    "doubt_horizon": ost_knowledge.doubt_horizon(),
+                    "final_prefix": ost_knowledge.final_prefix(),
+                    "ack_prefix": ost.ack_prefix(),
+                    "sent_watermark": ost.sent_watermark,
+                }
+            if self.subend is not None and self.subend.has_pubend(pubend):
+                state = self.subend.state_of(pubend)
+                entry["subend"] = {
+                    "delivered_horizon": state.delivered_horizon,
+                    "acked_up_to": state.acked_up_to,
+                }
+            pb = self.pubends.get(pubend)
+            if pb is not None:
+                entry["pubend"] = {
+                    "acked_up_to": pb.acked_up_to,
+                    "horizon": pb.stream.horizon(),
+                }
+            out[pubend] = entry
+        return out
 
     def _silence_check(self) -> None:
         now = self.services.now()

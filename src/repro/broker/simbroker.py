@@ -20,7 +20,7 @@ Crash/restart semantics follow the paper's failure model:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.config import LivenessParams
 from ..core.pubend import Pubend
@@ -137,6 +137,11 @@ class SimBroker(SimProcess):
         self._hostings: Dict[str, _PubendHosting] = {}
         self._subscriptions: List[Subscription] = []
         self._clients: Dict[str, SubscriberHooks] = {}
+        #: Client writes handed to the connection but not yet completed:
+        #: (subscriber, pubend, tick).  Only an SHB crash can void these,
+        #: which is what makes "acked but still in flight" safe to truncate
+        #: behind — and what the truncation oracle introspects.
+        self._inflight_client_writes: Set[Tuple[str, str, Tick]] = set()
         self.services = _SimServices(self)
         self.engine = GDBrokerEngine(
             topo, params, self.services, instruments=self.obs.instruments
@@ -221,10 +226,19 @@ class SimBroker(SimProcess):
         if client is None:
             return
         delay = (completion - self.scheduler.now) + self.client_latency
-        self.schedule(
-            delay,
-            lambda: client.on_delivery(pubend, tick, payload, self.scheduler.now),
-        )
+        key = (subscriber, pubend, tick)
+        self._inflight_client_writes.add(key)
+
+        def complete() -> None:
+            self._inflight_client_writes.discard(key)
+            client.on_delivery(pubend, tick, payload, self.scheduler.now)
+
+        self.schedule(delay, complete)
+
+    def client_write_inflight(self, subscriber: str, pubend: str, tick: Tick) -> bool:
+        """Whether a delivery is queued on the subscriber's connection
+        (scheduled but not yet observed by the client)."""
+        return (subscriber, pubend, tick) in self._inflight_client_writes
 
     def charge_category(self, category: str) -> None:
         model = self.cost_model
@@ -264,8 +278,11 @@ class SimBroker(SimProcess):
             self.engine.on_message(src, message)
 
     def on_crash(self) -> None:
-        # All soft state dies with the process; logs survive.
+        # All soft state dies with the process; logs survive.  Queued
+        # client writes are voided with it (their timers are epoch-gated),
+        # so they must not keep reading as "in flight".
         self.engine = None  # type: ignore[assignment]
+        self._inflight_client_writes.clear()
 
     def on_restart(self) -> None:
         if self.restart_warmup:

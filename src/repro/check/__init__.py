@@ -1,0 +1,55 @@
+"""``repro.check`` — the deterministic fault-schedule fuzzer.
+
+Seeded scenario generation (:mod:`~repro.check.scenario`), the
+exactly-once oracle suite (:mod:`~repro.check.oracles`), the execution
+harness and fuzz loop (:mod:`~repro.check.runner`), and the repro
+shrinker (:mod:`~repro.check.shrink`).  See ``docs/FUZZING.md`` for the
+seed/repro formats and the corpus check-in workflow.
+"""
+
+from .oracles import ORACLES, OracleFailure, OracleSuite
+from .runner import (
+    FuzzReport,
+    RunResult,
+    fuzz,
+    load_repro,
+    run_scenario,
+    run_seed,
+    write_repro,
+)
+from .scenario import (
+    FORMAT,
+    FaultSpec,
+    PublisherSpec,
+    Scenario,
+    SubscriberSpec,
+    TopologyMeta,
+    build_topology,
+    generate,
+    scenario_seed,
+)
+from .shrink import ShrinkStats, shrink
+
+__all__ = [
+    "ORACLES",
+    "OracleFailure",
+    "OracleSuite",
+    "FuzzReport",
+    "RunResult",
+    "fuzz",
+    "load_repro",
+    "run_scenario",
+    "run_seed",
+    "write_repro",
+    "FORMAT",
+    "FaultSpec",
+    "PublisherSpec",
+    "Scenario",
+    "SubscriberSpec",
+    "TopologyMeta",
+    "build_topology",
+    "generate",
+    "scenario_seed",
+    "ShrinkStats",
+    "shrink",
+]

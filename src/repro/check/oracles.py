@@ -1,0 +1,350 @@
+"""The exactly-once oracle suite: continuous and final correctness checks.
+
+An :class:`OracleSuite` attaches to a built :class:`~repro.topology.System`
+and watches the paper's service specification from *inside* the run, not
+just at the end:
+
+* **Delivery safety** — duplicate and out-of-order deliveries raise
+  immediately inside :class:`~repro.client.SubscriberClient`; the suite
+  converts those into structured failures.
+* **Knowledge-lattice monotonicity** — within one broker incarnation,
+  every istream/ostream doubt horizon, final prefix and acked prefix only
+  moves forward (knowledge accumulates up the lattice; a regression means
+  soft state was corrupted, not merely lost).  Swept periodically via
+  :meth:`~repro.broker.engine.GDBrokerEngine.stream_state`.
+* **Subend doubt-horizon monotonicity** — the publisher-order delivery
+  horizon never rewinds (hooked via
+  :attr:`~repro.core.subend.SubendManager.on_horizon_advance`).
+* **Log-truncation safety** — a pubend may only truncate ticks no
+  subscriber still needs: every *published* tick below the truncation
+  point whose payload matches a subscription must already have reached
+  that subscriber's client (hooked via
+  :attr:`~repro.core.pubend.Pubend.on_truncate`, re-armed after PHB
+  restarts, and re-checked on every sweep as a backstop).  Acking and
+  truncating pure silence or filtered-out data ahead of the subend acks
+  is legitimate (the F ↔ A linkage makes filtered knowledge immediately
+  ackable per path), so the oracle judges against the ground-truth
+  publication record, not the subend watermarks.
+* **Stream-state invariants** — :meth:`System.check_invariants` (coalesced
+  runs, payload/D linkage, no fabricated D ticks) on every sweep.
+* **Final verdict** — after the quiescent drain: exactly-once and gapless
+  delivery per subscriber against the ground-truth publication record,
+  and total-order consistency (identical delivered sequences) for every
+  total-order merge group.
+
+Failures are :class:`OracleFailure` (an ``AssertionError`` subclass so a
+raising oracle aborts the simulated run the way the online client checks
+do), each tagged with the oracle name for triage and shrinking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..client import DeliveryChecker, PublisherClient, SubscriberClient
+from ..core.ticks import Tick
+from ..topology import System
+
+__all__ = ["OracleFailure", "OracleSuite", "ORACLES"]
+
+#: The oracle names a suite can report (documented in docs/FUZZING.md).
+ORACLES = (
+    "delivery-safety",
+    "knowledge-monotonic",
+    "subend-horizon-monotonic",
+    "truncation-safety",
+    "stream-invariants",
+    "exactly-once",
+    "total-order",
+)
+
+
+class OracleFailure(AssertionError):
+    """One violated oracle, tagged for triage."""
+
+    def __init__(self, oracle: str, message: str):
+        super().__init__(f"[{oracle}] {message}")
+        self.oracle = oracle
+        self.message = message
+
+
+class OracleSuite:
+    """Continuous + final correctness checks over one simulated system."""
+
+    def __init__(
+        self,
+        system: System,
+        publishers: Sequence[PublisherClient] = (),
+        check_interval: float = 0.25,
+    ):
+        self.system = system
+        #: Ground truth for the truncation and final checks; defaults to
+        #: every publisher attached to the system.
+        self.publishers = list(publishers)
+        self.check_interval = check_interval
+        self.sweeps = 0
+        #: (broker, epoch, pubend, stream-key, field) -> watermark.
+        self._marks: Dict[Tuple[Any, ...], float] = {}
+        #: id(SubendManager) -> {pubend: last horizon}.
+        self._sub_horizons: Dict[int, Dict[str, Tick]] = {}
+        #: (pubend, subscriber) -> published-list index already verified
+        #: safe by the truncation oracle (ticks are recorded in publish
+        #: order, so a prefix index is a watermark).
+        self._trunc_checked: Dict[Tuple[str, str], int] = {}
+        self._installed = False
+
+    def _ground_truth(self) -> Sequence[PublisherClient]:
+        return self.publishers if self.publishers else self.system.publishers
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+
+    def install(self) -> None:
+        """Arm the oracle hooks and the periodic sweep (idempotent)."""
+        if self._installed:
+            return
+        self._installed = True
+        self._arm_hooks()
+        self._schedule_sweep()
+
+    def _schedule_sweep(self) -> None:
+        def tick() -> None:
+            self.sweep()
+            self.system.scheduler.call_later(self.check_interval, tick)
+
+        self.system.scheduler.call_later(self.check_interval, tick)
+
+    def _arm_hooks(self) -> None:
+        """(Re-)hook live pubends and subends.
+
+        Broker restarts rebuild Pubend and SubendManager objects, so the
+        sweep calls this every period; hooking is identity-guarded and
+        cheap.  The sweep-level state checks double as a backstop for the
+        short window between a restart and the next sweep.
+        """
+        for broker in self.system.brokers.values():
+            engine = getattr(broker, "engine", None)
+            if not broker.alive or engine is None:
+                continue
+            for pubend in getattr(engine, "pubends", {}).values():
+                if pubend.on_truncate is None:
+                    pubend.on_truncate = self._on_truncate
+            subend = getattr(engine, "subend", None)
+            if subend is not None and subend.on_horizon_advance is None:
+                subend.on_horizon_advance = self._make_horizon_hook(subend)
+
+    # ------------------------------------------------------------------
+    # Hook targets
+    # ------------------------------------------------------------------
+
+    def _on_truncate(self, pubend_id: str, up_to: Tick) -> None:
+        """The PHB is about to drop ``[0, up_to)`` from stable storage:
+        no subscriber may still need any of it."""
+        self._check_truncation(pubend_id, up_to, origin="hook")
+
+    def _check_truncation(self, pubend_id: str, up_to: Tick, origin: str) -> None:
+        """Every published tick below ``up_to`` that matches a
+        subscription must already be at the subscriber's client — once
+        the log entry is gone, no retransmission can ever satisfy a nack
+        for it.  (Silence and filtered-out data ack ahead of the subends;
+        only *matching published data* is protected.)"""
+        for publisher in self._ground_truth():
+            if publisher.pubend != pubend_id:
+                continue
+            for broker in self.system.brokers.values():
+                engine = getattr(broker, "engine", None)
+                if not broker.alive or engine is None:
+                    continue
+                subend = getattr(engine, "subend", None)
+                if subend is None or not subend.has_pubend(pubend_id):
+                    continue
+                for subscription in subend.subscriptions_for(pubend_id):
+                    client = self.system.subscribers.get(subscription.subscriber)
+                    if client is None:
+                        continue
+                    key = (id(publisher), subscription.subscriber)
+                    start = self._trunc_checked.get(key, 0)
+                    index = start
+                    for __, tick, event in publisher.published[start:]:
+                        if tick >= up_to:
+                            break
+                        index += 1
+                        if not subscription.predicate(event):
+                            continue
+                        if (pubend_id, tick) in client._seen:
+                            continue
+                        # The subend acks once the message is queued on
+                        # the client connection; under CPU backlog (e.g.
+                        # a total-order window releasing hundreds of
+                        # ticks at once) the write can still be in
+                        # flight when the PHB truncates.  That is safe:
+                        # only an SHB crash voids the write, and that
+                        # voids the subscription itself.
+                        if broker.client_write_inflight(
+                            subscription.subscriber, pubend_id, tick
+                        ):
+                            continue
+                        raise OracleFailure(
+                                "truncation-safety",
+                                f"pubend {pubend_id} truncating to {up_to} "
+                                f"but matching tick {tick} never reached "
+                                f"{subscription.subscriber} at "
+                                f"{broker.node_id} ({origin}, "
+                                f"t={self.system.scheduler.now:.3f})",
+                            )
+                    self._trunc_checked[key] = index
+
+    def _make_horizon_hook(self, subend: Any):
+        horizons = self._sub_horizons.setdefault(id(subend), {})
+
+        def hook(pubend: str, old: Tick, new: Tick) -> None:
+            last = horizons.get(pubend, 0)
+            if new < last or old > new:
+                raise OracleFailure(
+                    "subend-horizon-monotonic",
+                    f"delivery horizon of {pubend} rewound: "
+                    f"{last} -> {new} (old={old})",
+                )
+            horizons[pubend] = new
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # Periodic sweep
+    # ------------------------------------------------------------------
+
+    def sweep(self) -> None:
+        """One continuous-oracle pass over every live broker."""
+        self.sweeps += 1
+        self._arm_hooks()
+        try:
+            self.system.check_invariants()
+        except OracleFailure:
+            raise
+        except AssertionError as exc:
+            raise OracleFailure("stream-invariants", str(exc)) from exc
+        for broker in self.system.brokers.values():
+            engine = getattr(broker, "engine", None)
+            if not broker.alive or engine is None:
+                continue
+            if not hasattr(engine, "stream_state"):
+                continue
+            incarnation = (broker.node_id, getattr(broker, "epoch", 0))
+            state = engine.stream_state()
+            for pubend, entry in state.items():
+                self._monotone(
+                    incarnation, pubend, "istream", entry["istream"],
+                    ("doubt_horizon", "final_prefix", "horizon", "acked_upstream"),
+                )
+                for cell, ost in entry["ostreams"].items():
+                    self._monotone(
+                        incarnation, pubend, f"ostream:{cell}", ost,
+                        ("doubt_horizon", "final_prefix", "ack_prefix"),
+                    )
+                if entry["subend"] is not None:
+                    self._monotone(
+                        incarnation, pubend, "subend", entry["subend"],
+                        ("delivered_horizon", "acked_up_to"),
+                    )
+                if entry["pubend"] is not None:
+                    self._monotone(
+                        incarnation, pubend, "pubend", entry["pubend"],
+                        ("acked_up_to", "horizon"),
+                    )
+                    # Sweep-level backstop of the truncation hook.
+                    self._check_truncation(
+                        pubend, entry["pubend"]["acked_up_to"], origin="sweep"
+                    )
+
+    def _monotone(
+        self,
+        incarnation: Tuple[str, int],
+        pubend: str,
+        stream: str,
+        values: Dict[str, Any],
+        fields: Sequence[str],
+    ) -> None:
+        for field in fields:
+            value = values[field]
+            key = (incarnation, pubend, stream, field)
+            last = self._marks.get(key)
+            if last is not None and value < last:
+                raise OracleFailure(
+                    "knowledge-monotonic",
+                    f"{incarnation[0]} {stream}[{pubend}].{field} rewound "
+                    f"{last} -> {value} at t={self.system.scheduler.now:.3f}",
+                )
+            self._marks[key] = value
+
+    # ------------------------------------------------------------------
+    # Final verdict
+    # ------------------------------------------------------------------
+
+    def final_check(
+        self,
+        publishers: Sequence[PublisherClient],
+        subscribers: Optional[Dict[str, SubscriberClient]] = None,
+    ) -> List[OracleFailure]:
+        """The offline oracles, after the quiescent drain.
+
+        Returns the (possibly empty) failure list instead of raising, so
+        a caller can report *all* end-state violations at once.
+        """
+        failures: List[OracleFailure] = []
+        subscribers = (
+            subscribers if subscribers is not None else self.system.subscribers
+        )
+        checker = DeliveryChecker(list(publishers))
+        for name, client in sorted(subscribers.items()):
+            subscription = self.system.subscriptions.get(name)
+            if subscription is None:
+                continue
+            report = checker.check(client, subscription)
+            if not report.exactly_once:
+                failures.append(
+                    OracleFailure(
+                        "exactly-once",
+                        f"{name}: {len(report.missing)} missing "
+                        f"{report.missing[:3]}, {len(report.unexpected)} "
+                        f"unexpected {report.unexpected[:3]} "
+                        f"({report.delivered}/{report.matching_published} "
+                        f"delivered)",
+                    )
+                )
+        failures.extend(self._total_order_check(subscribers))
+        return failures
+
+    def _total_order_check(
+        self, subscribers: Dict[str, SubscriberClient]
+    ) -> List[OracleFailure]:
+        groups: Dict[Tuple[str, ...], List[Tuple[str, List[Tuple[str, Tick]]]]] = {}
+        for name, client in sorted(subscribers.items()):
+            subscription = self.system.subscriptions.get(name)
+            if subscription is None or not subscription.total_order:
+                continue
+            key = tuple(sorted(subscription.pubends))
+            sequence = [(p, t) for (p, t, __, ___) in client.received]
+            groups.setdefault(key, []).append((name, sequence))
+        failures: List[OracleFailure] = []
+        for key, members in groups.items():
+            baseline_name, baseline = members[0]
+            for name, sequence in members[1:]:
+                if sequence != baseline:
+                    divergence = next(
+                        (
+                            i
+                            for i, (a, b) in enumerate(zip(baseline, sequence))
+                            if a != b
+                        ),
+                        min(len(baseline), len(sequence)),
+                    )
+                    failures.append(
+                        OracleFailure(
+                            "total-order",
+                            f"{name} diverges from {baseline_name} on merge "
+                            f"{key} at position {divergence} "
+                            f"(lengths {len(sequence)} vs {len(baseline)})",
+                        )
+                    )
+        return failures

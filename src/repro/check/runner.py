@@ -1,0 +1,310 @@
+"""Execute scenarios under the oracle suite: the fuzz loop and replay.
+
+:func:`run_scenario` realizes one :class:`~repro.check.scenario.Scenario`
+as a simulated system, arms the :class:`~repro.check.oracles.OracleSuite`,
+schedules the fault script through :class:`~repro.faults.injector.FaultInjector`,
+runs publish + quiescent drain, and reports a :class:`RunResult` whose
+``digest`` is a stable fingerprint of everything observable (per-subscriber
+delivery sequences, publication counts, verdicts) — two runs of the same
+scenario must produce byte-identical digests, which is what the
+determinism tests and the CLI's ``--verify-deterministic`` flag check.
+
+:func:`fuzz` is the loop: derive per-run seeds from a base seed
+(:func:`~repro.check.scenario.scenario_seed`), generate + run each
+scenario, and on the first oracle failure optionally hand the scenario to
+:func:`~repro.check.shrink.shrink` and write the minimized schedule as a
+JSON repro file (the corpus check-in unit; see docs/FUZZING.md).
+
+Fuzz-side telemetry rides the same observability plane as the protocol:
+each run's ``system.obs`` gains ``repro_fuzz_oracle_failures_total``
+(labelled by oracle) next to ``repro_faults_injected_total``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..client import DuplicateDelivery, OrderViolation
+from ..faults.injector import FaultInjector
+from ..topology import System
+from .oracles import OracleFailure, OracleSuite
+from .scenario import FaultSpec, Scenario, build_topology, generate, scenario_seed
+
+__all__ = [
+    "RunResult",
+    "FuzzReport",
+    "run_scenario",
+    "run_seed",
+    "fuzz",
+    "write_repro",
+    "load_repro",
+]
+
+
+@dataclass
+class RunResult:
+    """The verdict of one scenario run."""
+
+    scenario: Scenario
+    failures: List[str] = field(default_factory=list)
+    oracles_failed: List[str] = field(default_factory=list)
+    published: int = 0
+    delivered: int = 0
+    sweeps: int = 0
+    sim_time: float = 0.0
+    fault_log: List[str] = field(default_factory=list)
+    digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else f"FAIL {sorted(set(self.oracles_failed))}"
+        return (
+            f"seed={self.scenario.seed} {self.scenario.topology} "
+            f"faults={len(self.scenario.faults)} pub={self.published} "
+            f"dlv={self.delivered} {verdict}"
+        )
+
+
+def _schedule_fault(injector: FaultInjector, fault: FaultSpec) -> None:
+    """Translate one declarative :class:`FaultSpec` into injector calls."""
+    kind, target = fault.kind, fault.target
+    if kind == "crash":
+        broker = target[0]
+        injector.at(fault.at, lambda: injector.crash_broker(broker))
+        injector.at(
+            fault.at + fault.duration, lambda: injector.restart_broker(broker)
+        )
+    elif kind == "stall_crash":
+        injector.stall_then_crash_broker(
+            target[0], at=fault.at, stall=fault.stall, downtime=fault.duration
+        )
+    elif kind == "stall_restart":
+        # Stall with no intervening crash; the restart must clear the
+        # sickness (the FaultInjector regression this suite guards).
+        broker = target[0]
+        injector.at(fault.at, lambda: injector.stall_broker(broker))
+        injector.at(
+            fault.at + fault.duration, lambda: injector.restart_broker(broker)
+        )
+    elif kind == "link_fail":
+        a, b = target
+        injector.at(fault.at, lambda: injector.fail_link(a, b))
+        injector.at(
+            fault.at + fault.duration, lambda: injector.recover_link(a, b)
+        )
+    elif kind == "stall_link_fail":
+        a, b = target
+        injector.stall_then_fail_link(
+            a, b, at=fault.at, stall=fault.stall, outage=fault.duration
+        )
+    elif kind == "drop_burst":
+        a, b = target
+        injector.drop_burst(
+            a, b, at=fault.at, duration=fault.duration,
+            probability=fault.intensity,
+        )
+    elif kind == "reorder_burst":
+        a, b = target
+        injector.reorder_burst(
+            a, b, at=fault.at, duration=fault.duration, jitter=fault.intensity
+        )
+    else:
+        raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def _digest(system: System, failures: List[str]) -> str:
+    """A stable fingerprint of everything externally observable."""
+    obj: Dict[str, Any] = {
+        "published": {
+            p.pubend: [tick for (__, tick, ___) in p.published]
+            for p in system.publishers
+        },
+        "delivered": {
+            name: [(p, t) for (p, t, __, ___) in client.received]
+            for name, client in sorted(system.subscribers.items())
+        },
+        "failures": failures,
+    }
+    text = json.dumps(obj, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def run_scenario(scenario: Scenario) -> RunResult:
+    """Build, fault, run and judge one scenario (deterministic)."""
+    meta = build_topology(scenario)
+    system = meta.topo.build(seed=scenario.seed, params=scenario.params())
+    if scenario.drop_probability or scenario.jitter:
+        for a, b in meta.links:
+            link = system.network.link(a, b)
+            link.drop_probability = scenario.drop_probability
+            link.jitter = scenario.jitter
+
+    for spec in scenario.subscribers:
+        system.subscribe(
+            spec.subscriber,
+            spec.broker,
+            spec.pubends,
+            predicate=spec.predicate,
+            total_order=spec.total_order,
+        )
+    publishers = []
+    for i, spec in enumerate(scenario.publishers):
+        publisher = system.publisher(
+            spec.pubend,
+            spec.rate,
+            make_attributes=lambda seq, m=spec.modulus: {"g": seq % m},
+        )
+        publisher.start(at=0.05 + 0.01 * i)
+        system.scheduler.call_at(scenario.publish_until, publisher.stop)
+        publishers.append(publisher)
+
+    suite = OracleSuite(system, publishers)
+    suite.install()
+    injector = FaultInjector(system)
+    for fault in scenario.faults:
+        _schedule_fault(injector, fault)
+
+    result = RunResult(scenario=scenario)
+    try:
+        system.run_until(scenario.drain_until)
+        for failure in suite.final_check(publishers):
+            result.failures.append(str(failure))
+            result.oracles_failed.append(failure.oracle)
+    except OracleFailure as exc:
+        result.failures.append(str(exc))
+        result.oracles_failed.append(exc.oracle)
+    except (DuplicateDelivery, OrderViolation) as exc:
+        result.failures.append(f"[delivery-safety] {exc}")
+        result.oracles_failed.append("delivery-safety")
+    except AssertionError as exc:
+        result.failures.append(f"[stream-invariants] {exc}")
+        result.oracles_failed.append("stream-invariants")
+
+    result.published = sum(len(p.published) for p in publishers)
+    result.delivered = sum(c.count() for c in system.subscribers.values())
+    result.sweeps = suite.sweeps
+    result.sim_time = system.scheduler.now
+    result.fault_log = list(injector.log)
+    result.digest = _digest(system, result.failures)
+    for oracle in result.oracles_failed:
+        system.obs.counter(
+            "repro_fuzz_oracle_failures_total",
+            "Oracle violations observed by the fuzz harness, by oracle.",
+            oracle=oracle,
+        ).inc()
+    return result
+
+
+def run_seed(seed: int) -> RunResult:
+    """Generate and run the scenario for one fully-mixed seed."""
+    return run_scenario(generate(seed))
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzz campaign."""
+
+    base_seed: int
+    runs: int = 0
+    failures: List[RunResult] = field(default_factory=list)
+    repro_paths: List[str] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def fuzz(
+    base_seed: int,
+    runs: int,
+    time_budget: Optional[float] = None,
+    shrink_failures: bool = True,
+    repro_dir: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    stop_on_failure: bool = True,
+) -> FuzzReport:
+    """Run ``runs`` generated scenarios (stopping early at ``time_budget``
+    wall seconds); shrink and serialize the first failure found."""
+    from .shrink import shrink  # local import: shrink imports this module
+
+    report = FuzzReport(base_seed=base_seed)
+    started = time.monotonic()
+    say = progress if progress is not None else (lambda _line: None)
+    for index in range(runs):
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            say(f"time budget {time_budget:.0f}s exhausted after {index} runs")
+            break
+        seed = scenario_seed(base_seed, index)
+        result = run_seed(seed)
+        report.runs += 1
+        say(f"[{index + 1}/{runs}] {result.summary()}")
+        if result.ok:
+            continue
+        report.failures.append(result)
+        if shrink_failures:
+            say(f"shrinking seed={seed} ...")
+            small, small_result = shrink(result.scenario, run_scenario)
+            path = write_repro(
+                small,
+                small_result,
+                directory=repro_dir,
+                stem=f"fuzz-{base_seed}-{index}",
+            )
+            report.repro_paths.append(path)
+            say(
+                f"minimized to {len(small.faults)} fault(s); repro "
+                f"written to {path}"
+            )
+        if stop_on_failure:
+            break
+    report.elapsed = time.monotonic() - started
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Repro files (the corpus unit)
+# ---------------------------------------------------------------------------
+
+
+def write_repro(
+    scenario: Scenario,
+    result: Optional[RunResult] = None,
+    directory: Optional[str] = None,
+    stem: str = "repro",
+) -> str:
+    """Serialize one scenario (plus its verdict) as a corpus repro file."""
+    import os
+
+    obj: Dict[str, Any] = {
+        "expect": "pass" if result is not None and result.ok else "fail",
+        "scenario": scenario.to_dict(),
+    }
+    if result is not None:
+        obj["oracles"] = sorted(set(result.oracles_failed))
+        obj["failures"] = result.failures
+    directory = directory if directory is not None else "."
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{stem}.json")
+    with open(path, "w") as handle:
+        json.dump(obj, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_repro(path: str) -> Tuple[Scenario, str]:
+    """Read a corpus repro file: (scenario, expected verdict)."""
+    with open(path) as handle:
+        obj = json.load(handle)
+    scenario = Scenario.from_dict(obj["scenario"])
+    expect = obj.get("expect", "pass")
+    if expect not in ("pass", "fail"):
+        raise ValueError(f"{path}: bad expect {expect!r}")
+    return scenario, expect

@@ -1,0 +1,133 @@
+"""Greedy scenario minimization: from a failing seed to a tiny repro.
+
+Given a scenario that violates an oracle, :func:`shrink` searches for the
+smallest scenario that *still* fails, by repeatedly proposing simpler
+candidates and keeping any that reproduce a failure:
+
+1. drop the entire fault schedule at once (is the workload alone enough?);
+2. drop each fault individually;
+3. zero the ambient link pathology (drop probability, jitter);
+4. remove subscribers (down to one) and publishers (down to one);
+5. halve each fault's stall window and duration.
+
+Every candidate run is fully deterministic, so an accepted simplification
+is a *guaranteed* reproduction, not a probabilistic one — which is why
+shrunk repro files can be checked into ``tests/corpus/`` and replayed as
+ordinary pytest cases.  Time windows (``publish_until``/``drain_until``)
+are deliberately *not* shrunk: shortening the drain can manufacture
+liveness failures that the original scenario does not have, and a repro
+that only fails because it was not given time to recover is a false bug.
+
+The search is greedy first-improvement with restart (each accepted
+candidate re-opens all passes), bounded by ``max_runs`` scenario
+executions, and memoized so structurally identical candidates are never
+run twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Optional, Set, Tuple
+
+from .runner import RunResult
+from .scenario import Scenario
+
+__all__ = ["shrink", "ShrinkStats"]
+
+
+@dataclass
+class ShrinkStats:
+    """Bookkeeping of one shrink search."""
+
+    attempts: int = 0
+    accepted: int = 0
+    skipped: int = 0
+
+
+def _halved(fault, attr: str):
+    value = getattr(fault, attr)
+    if value <= 0.2:
+        return None
+    return replace(fault, **{attr: round(value / 2, 2)})
+
+
+def _candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Simpler variants of ``scenario``, most aggressive first."""
+    if scenario.faults:
+        yield scenario.with_(faults=())
+        for i in range(len(scenario.faults)):
+            yield scenario.with_(
+                faults=scenario.faults[:i] + scenario.faults[i + 1:]
+            )
+    if scenario.drop_probability or scenario.jitter:
+        yield scenario.with_(drop_probability=0.0, jitter=0.0)
+    if scenario.drop_probability:
+        yield scenario.with_(drop_probability=0.0)
+    if scenario.jitter:
+        yield scenario.with_(jitter=0.0)
+    if len(scenario.subscribers) > 1:
+        for i in range(len(scenario.subscribers)):
+            yield scenario.with_(
+                subscribers=scenario.subscribers[:i]
+                + scenario.subscribers[i + 1:]
+            )
+    if len(scenario.publishers) > 1:
+        for i in range(len(scenario.publishers)):
+            yield scenario.with_(
+                publishers=scenario.publishers[:i]
+                + scenario.publishers[i + 1:]
+            )
+    for i, fault in enumerate(scenario.faults):
+        for attr in ("stall", "duration"):
+            smaller = _halved(fault, attr)
+            if smaller is not None:
+                yield scenario.with_(
+                    faults=scenario.faults[:i]
+                    + (smaller,)
+                    + scenario.faults[i + 1:]
+                )
+
+
+def shrink(
+    scenario: Scenario,
+    run_fn: Callable[[Scenario], RunResult],
+    max_runs: int = 80,
+    stats: Optional[ShrinkStats] = None,
+) -> Tuple[Scenario, RunResult]:
+    """Minimize a failing scenario; returns (smallest scenario, its run).
+
+    ``run_fn`` executes one scenario and reports its verdict (normally
+    :func:`~repro.check.runner.run_scenario`).  If the input scenario does
+    not fail under ``run_fn``, it is returned unchanged.
+    """
+    stats = stats if stats is not None else ShrinkStats()
+    seen: Set[str] = {scenario.to_json(indent=0)}
+    best = scenario
+    best_result = run_fn(scenario)
+    stats.attempts += 1
+    if best_result.ok:
+        return best, best_result
+
+    budget = max_runs - 1
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        for candidate in _candidates(best):
+            if budget <= 0:
+                break
+            key = candidate.to_json(indent=0)
+            if key in seen:
+                stats.skipped += 1
+                continue
+            seen.add(key)
+            result = run_fn(candidate)
+            stats.attempts += 1
+            budget -= 1
+            if not result.ok:
+                best, best_result = candidate, result
+                stats.accepted += 1
+                improved = True
+                break
+    note = f"shrunk from seed {scenario.seed} ({stats.attempts} runs)"
+    best = best.with_(note=note)
+    return best, best_result

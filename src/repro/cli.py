@@ -7,6 +7,8 @@ Examples::
     python -m repro overhead --subs 100 400 --rate 200
     python -m repro quickcheck            # fast end-to-end sanity run
     python -m repro stats --topology figure3 --duration 5   # metrics snapshot
+    python -m repro fuzz --seed 7 --runs 50 --shrink      # oracle fuzzing
+    python -m repro replay tests/corpus/*.json            # corpus replay
 
 Each experiment prints the same rows/series the corresponding benchmark
 asserts on (see EXPERIMENTS.md).
@@ -152,6 +154,54 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .check import fuzz, run_seed, scenario_seed
+
+    if args.verify_deterministic:
+        seed = scenario_seed(args.seed, 0)
+        first, second = run_seed(seed), run_seed(seed)
+        same = first.digest == second.digest
+        print(f"seed {seed}: digest {first.digest[:16]}... "
+              f"{'reproducible' if same else 'DIVERGED'}")
+        if not same:
+            return 1
+
+    report = fuzz(
+        args.seed,
+        args.runs,
+        time_budget=args.time_budget,
+        shrink_failures=args.shrink,
+        repro_dir=args.repro_dir,
+        progress=print,
+        stop_on_failure=not args.keep_going,
+    )
+    print(
+        f"fuzz: {report.runs} scenario(s), {len(report.failures)} failure(s), "
+        f"{report.elapsed:.1f}s wall (base seed {report.base_seed})"
+    )
+    for path in report.repro_paths:
+        print(f"repro: {path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .check import load_repro, run_scenario
+
+    status = 0
+    for path in args.repro:
+        scenario, expect = load_repro(path)
+        result = run_scenario(scenario)
+        verdict = "pass" if result.ok else "fail"
+        agree = verdict == expect
+        print(f"{path}: expected {expect}, got {verdict} "
+              f"{'OK' if agree else 'MISMATCH'}")
+        for line in result.failures:
+            print(f"  {line}")
+        if not agree:
+            status = 1
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -198,6 +248,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--format", choices=("prometheus", "json"), default="prometheus")
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="deterministic fault-schedule fuzzing under the exactly-once "
+        "oracle suite (see docs/FUZZING.md)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="base campaign seed")
+    p.add_argument("--runs", type=int, default=50, help="scenarios to run")
+    p.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop starting new scenarios after this much wall time",
+    )
+    p.add_argument(
+        "--shrink", action=argparse.BooleanOptionalAction, default=True,
+        help="minimize failures before writing repro files",
+    )
+    p.add_argument(
+        "--repro-dir", default=".",
+        help="directory for repro files of shrunk failures",
+    )
+    p.add_argument(
+        "--keep-going", action="store_true",
+        help="continue the campaign after a failure instead of stopping",
+    )
+    p.add_argument(
+        "--verify-deterministic", action="store_true",
+        help="run the first scenario twice and compare digests before fuzzing",
+    )
+    p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "replay",
+        help="replay repro files (tests/corpus/*.json) and check verdicts",
+    )
+    p.add_argument("repro", nargs="+", help="repro JSON files to replay")
+    p.set_defaults(fn=_cmd_replay)
 
     return parser
 

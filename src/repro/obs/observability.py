@@ -46,6 +46,9 @@ class Observability:
         self.hub = hub if hub is not None else MetricsHub()
         self.accountants: Dict[str, Any] = {}
         self.tracers: List[Any] = []
+        #: Structured fault events pushed by
+        #: :class:`~repro.faults.injector.FaultInjector` (application order).
+        self.fault_events: List[Any] = []
 
     # -- facade over the instrument registry ----------------------------
 
@@ -88,6 +91,22 @@ class Observability:
     def attach_tracer(self, tracer: Any) -> None:
         if tracer not in self.tracers:
             self.tracers.append(tracer)
+
+    def record_fault_event(self, event: Any) -> None:
+        """Adopt one injected-fault event (structured; see
+        :class:`~repro.faults.injector.FaultEvent`).
+
+        Counts into ``repro_faults_injected_total`` labelled by fault
+        kind, so fault activity exports next to the protocol counters it
+        perturbs, and keeps the structured record in
+        :attr:`fault_events` for scripted analysis.
+        """
+        self.fault_events.append(event)
+        self.counter(
+            "repro_faults_injected_total",
+            "Faults applied to this system by a FaultInjector, by kind.",
+            kind=getattr(event, "kind", "unknown"),
+        ).inc()
 
     # -- derived metrics -------------------------------------------------
 

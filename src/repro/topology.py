@@ -106,6 +106,15 @@ class Topology:
         self._links.append((a, b, params))
         return self
 
+    def physical_links(self) -> List[Tuple[str, str]]:
+        """Every declared physical link as ``(a, b)`` endpoint pairs.
+
+        Fault schedulers (e.g. the ``repro.check`` scenario generator)
+        target links through this instead of re-deriving the canned
+        topologies' wiring by hand, so the fault surface can never drift
+        from the topology it is injected into."""
+        return [(a, b) for a, b, __ in self._links]
+
     def pubend(
         self,
         pubend_id: str,

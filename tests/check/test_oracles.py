@@ -1,0 +1,97 @@
+"""The oracle suite catches violations and stays quiet on healthy runs."""
+
+import pytest
+
+from repro.check import ORACLES, OracleFailure, OracleSuite
+from repro.core.config import LivenessParams
+from repro.topology import two_broker_topology
+
+
+def build_system(seed=11, **params):
+    defaults = dict(gct=0.1, nrt_min=0.3)
+    defaults.update(params)
+    topo = two_broker_topology()
+    topo.pubend("P0", "phb")
+    topo.route("P0", "PHB", "SHB")
+    return topo.build(seed=seed, params=LivenessParams(**defaults))
+
+
+class TestHealthyRun:
+    def test_no_failures_on_a_lossy_but_recovering_run(self):
+        system = build_system()
+        system.network.link("phb", "shb").drop_probability = 0.1
+        system.subscribe("c", "shb", ("P0",))
+        publisher = system.publisher("P0", rate=100.0)
+        publisher.start(at=0.1)
+        suite = OracleSuite(system, [publisher])
+        suite.install()
+        system.scheduler.call_at(2.0, publisher.stop)
+        system.run_until(8.0)  # raises OracleFailure on violation
+        assert suite.final_check([publisher]) == []
+        assert suite.sweeps > 10
+
+    def test_install_is_idempotent(self):
+        system = build_system()
+        suite = OracleSuite(system)
+        suite.install()
+        suite.install()
+        system.run_until(1.0)
+        first = suite.sweeps
+        assert first == pytest.approx(1.0 / suite.check_interval, abs=2)
+
+
+class TestViolationsAreCaught:
+    def test_truncation_oracle_fires_when_recovery_is_disabled(self):
+        # gct/aet disabled: a dropped message is never re-fetched, but the
+        # pubend still consolidates acks over paths that saw only silence
+        # and finality — eventually truncating data a subscriber needs.
+        system = build_system(gct=float("inf"), aet=float("inf"))
+        system.network.link("phb", "shb").drop_probability = 0.25
+        system.subscribe("c", "shb", ("P0",))
+        publisher = system.publisher("P0", rate=100.0)
+        publisher.start(at=0.1)
+        suite = OracleSuite(system, [publisher])
+        suite.install()
+        system.scheduler.call_at(2.0, publisher.stop)
+        try:
+            system.run_until(8.0)
+            failures = suite.final_check([publisher])
+        except OracleFailure as exc:
+            failures = [exc]
+        assert failures, "losses must be caught by at least one oracle"
+        assert all(f.oracle in ORACLES for f in failures)
+
+    def test_final_check_reports_missing_deliveries(self):
+        system = build_system()
+        client = system.subscribe("c", "shb", ("P0",))
+        publisher = system.publisher("P0", rate=50.0)
+        publisher.start(at=0.1)
+        suite = OracleSuite(system, [publisher])
+        system.scheduler.call_at(1.0, publisher.stop)
+        system.run_until(4.0)
+        # Forge a loss: drop one delivered record from the client's view.
+        assert client.received
+        pubend, tick, _, __ = client.received[0]
+        client.received.pop(0)
+        client._seen.discard((pubend, tick))
+        failures = suite.final_check([publisher])
+        assert any(f.oracle == "exactly-once" for f in failures)
+
+    def test_oracle_failure_is_an_assertion_error(self):
+        failure = OracleFailure("exactly-once", "boom")
+        assert isinstance(failure, AssertionError)
+        assert failure.oracle == "exactly-once"
+        assert "[exactly-once]" in str(failure)
+
+
+class TestOracleNames:
+    def test_oracle_registry_is_complete(self):
+        assert set(ORACLES) == {
+            "delivery-safety",
+            "knowledge-monotonic",
+            "subend-horizon-monotonic",
+            "truncation-safety",
+            "stream-invariants",
+            "exactly-once",
+            "total-order",
+        }

@@ -1,0 +1,79 @@
+"""The fuzz harness: bit-for-bit determinism, verdicts, repro files."""
+
+import json
+
+from repro.check import (
+    ORACLES,
+    fuzz,
+    generate,
+    load_repro,
+    run_scenario,
+    run_seed,
+    scenario_seed,
+    write_repro,
+)
+
+# A seed whose scenario runs quickly and passes (stays stable because
+# generation is deterministic).
+PASS_SEED = scenario_seed(42, 0)
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical_digest(self):
+        first = run_seed(PASS_SEED)
+        second = run_seed(PASS_SEED)
+        assert first.digest == second.digest
+        assert first.published == second.published
+        assert first.delivered == second.delivered
+        assert first.fault_log == second.fault_log
+
+    def test_different_seeds_different_digests(self):
+        a = run_seed(scenario_seed(42, 0))
+        b = run_seed(scenario_seed(42, 1))
+        assert a.digest != b.digest
+
+
+class TestVerdicts:
+    def test_clean_scenario_passes_all_oracles(self):
+        result = run_seed(PASS_SEED)
+        assert result.ok, result.failures
+        assert result.oracles_failed == []
+        assert result.sweeps > 0  # the continuous oracles actually ran
+        assert result.published > 0
+        assert result.delivered > 0
+
+    def test_disable_recovery_ablation_is_caught(self):
+        # With curiosity, nacks and AET all disabled, ambient drops become
+        # permanent losses; the oracle suite must notice.
+        scenario = generate(PASS_SEED).with_(
+            disable_recovery=True, drop_probability=0.08
+        )
+        result = run_scenario(scenario)
+        assert not result.ok
+        assert set(result.oracles_failed) <= set(ORACLES)
+
+    def test_fuzz_campaign_reports_runs(self):
+        report = fuzz(base_seed=42, runs=3, shrink_failures=False)
+        assert report.runs == 3
+        assert report.ok
+        assert report.elapsed > 0
+
+
+class TestReproFiles:
+    def test_write_and_load_round_trip(self, tmp_path):
+        scenario = generate(PASS_SEED)
+        result = run_scenario(scenario)
+        path = write_repro(
+            scenario, result, directory=str(tmp_path), stem="round-trip"
+        )
+        loaded, expect = load_repro(path)
+        assert loaded == scenario
+        assert expect == ("pass" if result.ok else "fail")
+
+    def test_repro_file_is_stable_json(self, tmp_path):
+        scenario = generate(PASS_SEED)
+        path = write_repro(scenario, directory=str(tmp_path), stem="stable")
+        with open(path) as handle:
+            obj = json.load(handle)
+        assert obj["scenario"]["seed"] == PASS_SEED
+        assert obj["expect"] in ("pass", "fail")

@@ -1,0 +1,95 @@
+"""Scenario generation and serialization: determinism and fairness."""
+
+import json
+
+from repro.check import (
+    FORMAT,
+    FaultSpec,
+    Scenario,
+    build_topology,
+    generate,
+    scenario_seed,
+)
+
+SEEDS = [scenario_seed(7, i) for i in range(20)]
+
+
+class TestGeneration:
+    def test_same_seed_same_scenario(self):
+        for seed in SEEDS[:5]:
+            assert generate(seed) == generate(seed)
+
+    def test_different_seeds_differ(self):
+        scenarios = [generate(seed) for seed in SEEDS]
+        assert len({s.to_json() for s in scenarios}) > 1
+
+    def test_scenario_seed_is_deterministic_and_mixed(self):
+        assert scenario_seed(7, 3) == scenario_seed(7, 3)
+        assert scenario_seed(7, 3) != scenario_seed(7, 4)
+        assert scenario_seed(7, 3) != scenario_seed(8, 3)
+
+    def test_faults_heal_before_the_drain_ends(self):
+        # Fairness: every fault is healed with slack before the drain
+        # deadline, so a failing run is a protocol bug, not an unfair
+        # schedule.
+        for seed in SEEDS:
+            scenario = generate(seed)
+            for fault in scenario.faults:
+                assert fault.healed_at <= scenario.publish_until + 3.0 + 1e-9
+
+    def test_shb_brokers_are_never_crashed(self):
+        # Crashing an SHB voids its subscriptions (outside the paper's
+        # failure model), so generated schedules must never do it.
+        for seed in SEEDS:
+            scenario = generate(seed)
+            meta = build_topology(scenario)
+            shbs = set(meta.shb_brokers)
+            for fault in scenario.faults:
+                if fault.kind in ("crash", "stall_crash", "stall_restart"):
+                    assert fault.target[0] not in shbs
+
+    def test_fault_targets_exist_in_the_topology(self):
+        for seed in SEEDS:
+            scenario = generate(seed)
+            meta = build_topology(scenario)
+            links = {frozenset(pair) for pair in meta.links}
+            for fault in scenario.faults:
+                if len(fault.target) == 2:
+                    assert frozenset(fault.target) in links
+                else:
+                    assert fault.target[0] in meta.crashable_brokers
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        for seed in SEEDS[:10]:
+            scenario = generate(seed)
+            again = Scenario.from_json(scenario.to_json())
+            assert again == scenario
+
+    def test_format_marker(self):
+        scenario = generate(SEEDS[0])
+        obj = json.loads(scenario.to_json())
+        assert obj["format"] == FORMAT
+
+    def test_with_replaces_fields(self):
+        scenario = generate(SEEDS[0])
+        ablated = scenario.with_(disable_recovery=True, faults=())
+        assert ablated.disable_recovery
+        assert ablated.faults == ()
+        assert ablated.seed == scenario.seed
+        assert not scenario.disable_recovery  # original untouched
+
+    def test_disable_recovery_params(self):
+        scenario = generate(SEEDS[0]).with_(disable_recovery=True)
+        params = scenario.params()
+        assert params.gct == float("inf")
+        assert params.aet == float("inf")
+
+    def test_fault_spec_round_trip(self):
+        fault = FaultSpec(
+            kind="stall_crash", target=("b1",), at=1.5, duration=2.0, stall=0.5
+        )
+        scenario = generate(SEEDS[0]).with_(faults=(fault,))
+        again = Scenario.from_json(scenario.to_json())
+        assert again.faults == (fault,)

@@ -1,0 +1,61 @@
+"""Shrinking: minimized scenarios still fail, and passing ones are kept."""
+
+from repro.check import (
+    ShrinkStats,
+    generate,
+    run_scenario,
+    scenario_seed,
+    shrink,
+)
+
+PASS_SEED = scenario_seed(42, 0)
+
+
+def failing_scenario():
+    """A deterministic failure: ambient drops with recovery disabled."""
+    return generate(PASS_SEED).with_(disable_recovery=True, drop_probability=0.08)
+
+
+class TestShrinkFailing:
+    def test_result_still_fails_and_is_no_larger(self):
+        scenario = failing_scenario()
+        stats = ShrinkStats()
+        small, result = shrink(scenario, run_scenario, stats=stats)
+        assert not result.ok
+        assert len(small.faults) <= len(scenario.faults)
+        assert len(small.subscribers) <= len(scenario.subscribers)
+        assert stats.accepted >= 1  # something actually simplified
+        assert "shrunk from seed" in (small.note or "")
+
+    def test_shrunk_scenario_replays_to_the_same_verdict(self):
+        small, result = shrink(failing_scenario(), run_scenario)
+        replay = run_scenario(small)
+        assert not replay.ok
+        assert replay.digest == result.digest  # deterministic repro
+
+    def test_budget_bounds_the_search(self):
+        stats = ShrinkStats()
+        shrink(failing_scenario(), run_scenario, max_runs=3, stats=stats)
+        assert stats.attempts <= 3
+
+    def test_memoization_skips_duplicate_candidates(self):
+        # Different structural passes can propose the same candidate (e.g.
+        # dropping the only fault vs. dropping the whole schedule); the
+        # memo must collapse them instead of re-running.
+        fault = generate(PASS_SEED).faults
+        scenario = failing_scenario()
+        if not scenario.faults:
+            scenario = scenario.with_(faults=fault[:1])
+        stats = ShrinkStats()
+        shrink(scenario, run_scenario, stats=stats)
+        assert stats.skipped >= 1
+
+
+class TestShrinkPassing:
+    def test_passing_scenario_returned_unchanged_after_one_run(self):
+        scenario = generate(PASS_SEED)
+        stats = ShrinkStats()
+        small, result = shrink(scenario, run_scenario, stats=stats)
+        assert result.ok
+        assert small == scenario
+        assert stats.attempts == 1

@@ -1,0 +1,36 @@
+"""Replay every checked-in repro file as an ordinary pytest case.
+
+Each ``*.json`` in this directory is a minimized scenario written by the
+fuzzer (``python -m repro fuzz``) or checked in by hand after a bug hunt
+(see docs/FUZZING.md for the check-in workflow).  Replays are fully
+deterministic, so a repro's verdict — ``expect: pass`` for fixed
+regressions, ``expect: fail`` for known-broken ablations — must reproduce
+bit-for-bit on every run.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.check import load_repro, run_scenario
+
+CORPUS_DIR = os.path.dirname(__file__)
+REPRO_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_not_empty():
+    assert REPRO_FILES, "tests/corpus must contain at least one repro file"
+
+
+@pytest.mark.parametrize(
+    "path", REPRO_FILES, ids=[os.path.basename(p) for p in REPRO_FILES]
+)
+def test_replay(path):
+    scenario, expect = load_repro(path)
+    result = run_scenario(scenario)
+    verdict = "pass" if result.ok else "fail"
+    assert verdict == expect, (
+        f"{os.path.basename(path)}: expected {expect}, got {verdict}: "
+        f"{result.failures[:3]}"
+    )

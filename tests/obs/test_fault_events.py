@@ -1,0 +1,72 @@
+"""Fault injections surface on the observability plane.
+
+Every applied fault is recorded in ``system.obs`` twice: the
+``repro_faults_injected_total`` counter (labelled by fault kind) and the
+structured :class:`~repro.faults.injector.FaultEvent` list — so fault
+activity lands in the same snapshot as the protocol counters it perturbs.
+"""
+
+from repro.core.config import LivenessParams
+from repro.core.ticks import tick_of_time
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.topology import two_broker_topology
+
+
+def build_system(seed: int = 9):
+    topo = two_broker_topology()
+    topo.pubend("P0", "phb")
+    topo.route("P0", "PHB", "SHB")
+    return topo.build(seed=seed, params=LivenessParams(gct=0.1, nrt_min=0.3))
+
+
+def counter_value(obs, name, **labels):
+    for entry in obs.snapshot():
+        if entry["name"] == name and entry.get("labels", {}) == labels:
+            return entry["value"]
+    return None
+
+
+class TestFaultEventObservability:
+    def test_injections_count_into_obs_by_kind(self):
+        system = build_system()
+        injector = FaultInjector(system)
+
+        injector.fail_link("phb", "shb")
+        injector.recover_link("phb", "shb")
+        injector.crash_broker("phb")
+        injector.restart_broker("phb")
+        injector.crash_broker("phb")
+        injector.restart_broker("phb")
+
+        assert counter_value(
+            system.obs, "repro_faults_injected_total", kind="fail_link"
+        ) == 1
+        assert counter_value(
+            system.obs, "repro_faults_injected_total", kind="crash_broker"
+        ) == 2
+        assert counter_value(
+            system.obs, "repro_faults_injected_total", kind="restart_broker"
+        ) == 2
+
+    def test_structured_events_reach_obs_in_order(self):
+        system = build_system()
+        injector = FaultInjector(system)
+
+        injector.at(0.5, lambda: injector.stall_broker("phb"))
+        injector.at(1.0, lambda: injector.restart_broker("phb"))
+        system.run_until(1.5)
+
+        events = system.obs.fault_events
+        assert [e.kind for e in events] == ["stall_broker", "restart_broker"]
+        assert all(isinstance(e, FaultEvent) for e in events)
+        assert events == injector.events
+        for event in events:
+            assert event.tick == tick_of_time(event.time)
+
+    def test_fault_counter_appears_in_prometheus_export(self):
+        system = build_system()
+        injector = FaultInjector(system)
+        injector.stall_broker("phb")
+        text = system.obs.prometheus()
+        assert "repro_faults_injected_total" in text
+        assert 'kind="stall_broker"' in text
