@@ -72,3 +72,65 @@ def test_fig5_latency(benchmark):
     assert be_remote[-1] > be_remote[0]
     gd_local = [by_key[("gd", n)].local_median_ms for n in SUBSCRIBER_COUNTS]
     assert max(gd_local) - min(gd_local) < 10.0
+
+
+def test_fig5_latency_with_knowledge_batching(benchmark):
+    """Batching's latency cost is bounded by the flush window.
+
+    First-time data rides knowledge messages, so ``flush_delay`` adds at
+    most one flush window to remote delivery latency (≈ ``flush_delay/2``
+    at the median) per batching hop — and nothing to local latency, which
+    bypasses the ostream flush path entirely.  Delivery counts must be
+    identical: batching trades latency for message volume, never loses.
+    """
+    from repro.core.config import LivenessParams
+
+    FLUSH = 0.05
+
+    counts = [100, 400]
+    kwargs = {
+        "protocols": ("gd",),
+        "input_rate": INPUT_RATE,
+        "warmup": 1.5,
+        "measure": 6.0,
+        "log_commit_latency": LOG_LATENCY,
+    }
+    immediate = run_overhead_sweep(counts, **kwargs)
+    batched = benchmark.pedantic(
+        run_overhead_sweep,
+        args=(counts,),
+        kwargs={**kwargs, "params": LivenessParams(flush_delay=FLUSH)},
+        rounds=1,
+        iterations=1,
+    )
+    imm_by_n = {p.n_subscribers: p for p in immediate}
+    bat_by_n = {p.n_subscribers: p for p in batched}
+    rows = []
+    for n in counts:
+        imm, bat = imm_by_n[n], bat_by_n[n]
+        rows.append(
+            [
+                n,
+                f"{imm.remote_median_ms:.1f}",
+                f"{bat.remote_median_ms:.1f}",
+                f"{imm.shb_cpu * 100:.2f}%",
+                f"{bat.shb_cpu * 100:.2f}%",
+            ]
+        )
+    print_table(
+        "Figure 5 check — GD latency, immediate vs batched knowledge",
+        ["N subs", "imm remote", "batch remote", "imm SHB CPU", "batch SHB CPU"],
+        rows,
+    )
+    for n in counts:
+        imm, bat = imm_by_n[n], bat_by_n[n]
+        # Batching never loses messages — only delays them.
+        assert bat.delivered == imm.delivered > 0
+        # Remote latency grows by at most one flush window (plus jitter
+        # margin) and never shrinks below the immediate-mode floor.
+        extra = bat.remote_median_ms - imm.remote_median_ms
+        assert -5.0 < extra < 1000 * FLUSH + 10.0
+        # Local delivery bypasses the ostream flush path entirely.
+        assert abs(bat.local_median_ms - imm.local_median_ms) < 5.0
+        # And batching never costs CPU on the subscriber-hosting broker.
+        assert bat.shb_cpu <= imm.shb_cpu * 1.05

@@ -83,6 +83,11 @@ def stable_hash(text: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def _is_final(value: K) -> bool:
+    """Module-level predicate: no per-call closure on the send hot path."""
+    return value == K.F
+
+
 def _payload_size(payload: Any) -> int:
     """Rough wire size of a data payload, for link bandwidth modelling."""
     body = getattr(payload, "body", None)
@@ -252,6 +257,11 @@ class GDBrokerEngine:
         self._m_silence_messages = instruments.counter(
             "repro_broker_silence_messages_total",
             "Idle-silence knowledge messages generated by locally hosted pubends",
+            broker=broker,
+        )
+        self._m_knowledge_flushes = instruments.counter(
+            "repro_broker_knowledge_flushes_total",
+            "Coalesced knowledge flushes sent by batched propagation (flush_delay > 0)",
             broker=broker,
         )
 
@@ -518,7 +528,13 @@ class GDBrokerEngine:
             self._answer_curiosity(ist, ost, curious, allow_sideways)
             return
 
-        if filtered.data:
+        if self.params.flush_delay > 0:
+            # Batched delta propagation: record the dirty ticks and flush
+            # one coalesced message per ostream after flush_delay.  Only
+            # the cases that would send immediately mark the path dirty.
+            if filtered.data or (self.params.silence_broadcast and message.is_silence):
+                self._mark_dirty(ost, filtered, allow_sideways)
+        elif filtered.data:
             out = self._build_first_time(ost, filtered)
             self._send_knowledge(ost, out, allow_sideways)
         elif self.params.silence_broadcast and message.is_silence:
@@ -527,7 +543,70 @@ class GDBrokerEngine:
                 self._send_knowledge(ost, out, allow_sideways)
         # Whatever just arrived may also satisfy older curiosity on this
         # path (first-time silence for curious ticks, paper section 3.1).
+        # Curiosity answers are never delayed by batching.
         self._answer_curiosity(ist, ost, curious, allow_sideways)
+
+    def _mark_dirty(
+        self, ost: OStream, filtered: KnowledgeMessage, allow_sideways: bool
+    ) -> None:
+        """Fold one incoming update into the ostream's pending flush."""
+        # Capture the DataTicks (payloads included) now: a local subend
+        # sharing the istream may ack-finalize it — dropping the payloads
+        # — before the flush fires, so they cannot be re-read later.
+        ost.pending_data.extend(filtered.data)
+        ost.pending_sideways = ost.pending_sideways and allow_sideways
+        if not ost.flush_pending:
+            ost.flush_pending = True
+            pubend, cell = ost.pubend, ost.cell
+            self.services.schedule(
+                self.params.flush_delay,
+                lambda: self._flush_ostream(pubend, cell),
+            )
+
+    def _flush_ostream(self, pubend: str, cell: str) -> None:
+        """Send one coalesced first-time message covering every update
+        folded into the ostream since the last flush.
+
+        The message walks only ticks above the sent watermark (the
+        neighbor already holds everything below it), so N publications
+        ingested within one flush window cost one knowledge message with
+        N data ticks and merged F brackets instead of N messages.
+        """
+        ist = self.istreams.get(pubend)
+        ost = self.ostreams.get(pubend, {}).get(cell)
+        if ist is None or ost is None or not ost.flush_pending:
+            return
+        ost.flush_pending = False
+        pending = {d.tick: d for d in ost.pending_data}
+        ost.pending_data = []
+        allow_sideways = ost.pending_sideways
+        ost.pending_sideways = True
+        self.services.charge(0.0, "knowledge_flush")
+        knowledge = ost.stream.knowledge
+        hi = knowledge.horizon()
+        fin = knowledge.final_prefix()
+        lo = min(ost.sent_watermark, hi)
+        f_runs = knowledge.ranges_with(_is_final, max(lo, fin), hi)
+        data: List[DataTick] = []
+        for tick in sorted(pending):
+            # A pending tick may have been finalized meanwhile (acked via
+            # a sideways path): finality then travels in fin/f_runs and
+            # the captured payload is dropped.
+            if knowledge.value_at(tick) == K.D:
+                data.append(pending[tick])
+        if not data and not f_runs and fin <= ost.sent_watermark:
+            return
+        ost.sent_watermark = max(ost.sent_watermark, hi)
+        out = KnowledgeMessage(
+            pubend=pubend,
+            fin_prefix=fin,
+            f_ranges=tuple(f_runs),
+            data=tuple(data),
+            retransmit=False,
+        )
+        self.bump("knowledge_flushes")
+        self._m_knowledge_flushes.inc()
+        self._send_knowledge(ost, out, allow_sideways)
 
     def _build_first_time(
         self, ost: OStream, filtered: KnowledgeMessage
@@ -542,9 +621,7 @@ class GDBrokerEngine:
         hi = filtered.max_tick()
         lo = min(ost.sent_watermark, hi)
         fin = ost.stream.knowledge.final_prefix()
-        f_runs = ost.stream.knowledge.ranges_with(
-            lambda v: v == K.F, max(lo, fin), hi
-        )
+        f_runs = ost.stream.knowledge.ranges_with(_is_final, max(lo, fin), hi)
         out = KnowledgeMessage(
             pubend=ost.pubend,
             fin_prefix=fin,
@@ -561,7 +638,7 @@ class GDBrokerEngine:
         hi = filtered.max_tick()
         lo = min(ost.sent_watermark, hi)
         fin = ost.stream.knowledge.final_prefix()
-        f_runs = ost.stream.knowledge.ranges_with(lambda v: v == K.F, max(lo, fin), hi)
+        f_runs = ost.stream.knowledge.ranges_with(_is_final, max(lo, fin), hi)
         if not f_runs and fin <= ost.sent_watermark:
             return None
         ost.sent_watermark = max(ost.sent_watermark, hi)

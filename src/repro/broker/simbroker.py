@@ -251,6 +251,8 @@ class SimBroker(SimProcess):
                 cost += model.gd_subend_update + model.match
         elif category == "knowledge_send":
             cost = 0.0  # charged in _SimServices.send
+        elif category == "knowledge_flush":
+            cost = model.knowledge_flush
         elif category == "publish":
             cost = model.knowledge_update
         else:

@@ -57,6 +57,9 @@ class OStream:
         "stream",
         "sent_watermark",
         "summary_edge",
+        "pending_data",
+        "flush_pending",
+        "pending_sideways",
     )
 
     def __init__(self, pubend: str, cell: str, filter_edge: FilterEdge):
@@ -75,6 +78,18 @@ class OStream:
         #: cell's advertised subscription summary (None until received;
         #: absent summaries filter nothing — conservative).
         self.summary_edge: Optional[FilterEdge] = None
+        #: Batched flushing (flush_delay > 0): DataTicks ingested since the
+        #: last flush, awaiting one coalesced first-time KnowledgeMessage.
+        #: Payloads are captured here at ingest time — a co-hosted subend
+        #: may consume and finalize the shared istream (GC'ing its
+        #: payloads) before the flush timer fires.
+        self.pending_data: list = []
+        #: Whether a flush timer is currently scheduled for this ostream.
+        self.flush_pending: bool = False
+        #: AND of the allow_sideways flags of the updates folded into the
+        #: pending flush — a single non-sideways-eligible contribution
+        #: makes the whole coalesced message non-sideways-eligible.
+        self.pending_sideways: bool = True
 
     def ack_prefix(self) -> Tick:
         """Ticks below this are anti-curious: acked by the downstream cell

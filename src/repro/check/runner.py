@@ -202,9 +202,16 @@ def run_scenario(scenario: Scenario) -> RunResult:
     return result
 
 
-def run_seed(seed: int) -> RunResult:
-    """Generate and run the scenario for one fully-mixed seed."""
-    return run_scenario(generate(seed))
+def run_seed(seed: int, flush_delay: Optional[float] = None) -> RunResult:
+    """Generate and run the scenario for one fully-mixed seed.
+
+    ``flush_delay`` overrides the generated scenario's batching knob —
+    the whole campaign then runs with delta flushing forced on (or off),
+    which is how CI proves batching preserves the oracles."""
+    scenario = generate(seed)
+    if flush_delay is not None:
+        scenario = scenario.with_(flush_delay=flush_delay)
+    return run_scenario(scenario)
 
 
 @dataclass
@@ -230,6 +237,7 @@ def fuzz(
     repro_dir: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
     stop_on_failure: bool = True,
+    flush_delay: Optional[float] = None,
 ) -> FuzzReport:
     """Run ``runs`` generated scenarios (stopping early at ``time_budget``
     wall seconds); shrink and serialize the first failure found."""
@@ -243,7 +251,7 @@ def fuzz(
             say(f"time budget {time_budget:.0f}s exhausted after {index} runs")
             break
         seed = scenario_seed(base_seed, index)
-        result = run_seed(seed)
+        result = run_seed(seed, flush_delay=flush_delay)
         report.runs += 1
         say(f"[{index + 1}/{runs}] {result.summary()}")
         if result.ok:

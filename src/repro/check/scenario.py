@@ -129,6 +129,10 @@ class Scenario:
     #: AET all infinite) so lost messages stay lost.  Used to validate
     #: that the oracle suite actually catches liveness violations.
     disable_recovery: bool = False
+    #: Batched knowledge propagation (LivenessParams.flush_delay): 0 is
+    #: the immediate-send default; > 0 exercises delta flushing under the
+    #: same oracles.  Older repro files without the field load as 0.
+    flush_delay: float = 0.0
     note: str = ""
 
     # -- serialization ---------------------------------------------------
@@ -174,9 +178,12 @@ class Scenario:
     # -- derived ---------------------------------------------------------
 
     def params(self) -> LivenessParams:
+        params = FAST_PARAMS
         if self.disable_recovery:
-            return replace(FAST_PARAMS, gct=INFINITY, dct=INFINITY, aet=INFINITY)
-        return FAST_PARAMS
+            params = replace(params, gct=INFINITY, dct=INFINITY, aet=INFINITY)
+        if self.flush_delay > 0:
+            params = replace(params, flush_delay=self.flush_delay)
+        return params
 
     def with_(self, **changes: Any) -> "Scenario":
         return replace(self, **changes)
@@ -337,12 +344,17 @@ def generate(seed: int) -> Scenario:
     faults = tuple(_generate_faults(rng, meta, publish_until))
     drop = round(rng.uniform(0.0, 0.08), 3) if rng.random() < 0.6 else 0.0
     jitter = round(rng.uniform(0.0, 0.02), 4) if rng.random() < 0.4 else 0.0
+    # Drawn last so pre-existing seeds keep their fault schedules intact.
+    flush_delay = (
+        round(rng.uniform(0.01, 0.08), 3) if rng.random() < 0.25 else 0.0
+    )
 
     return base.with_(
         subscribers=tuple(subscribers),
         faults=faults,
         drop_probability=drop,
         jitter=jitter,
+        flush_delay=flush_delay,
     )
 
 

@@ -174,6 +174,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         repro_dir=args.repro_dir,
         progress=print,
         stop_on_failure=not args.keep_going,
+        flush_delay=args.flush_delay,
     )
     print(
         f"fuzz: {report.runs} scenario(s), {len(report.failures)} failure(s), "
@@ -190,6 +191,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     status = 0
     for path in args.repro:
         scenario, expect = load_repro(path)
+        if args.flush_delay is not None:
+            scenario = scenario.with_(flush_delay=args.flush_delay)
         result = run_scenario(scenario)
         verdict = "pass" if result.ok else "fail"
         agree = verdict == expect
@@ -200,6 +203,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         if not agree:
             status = 1
     return status
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import main as bench_main
+
+    return bench_main(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -276,6 +285,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify-deterministic", action="store_true",
         help="run the first scenario twice and compare digests before fuzzing",
     )
+    p.add_argument(
+        "--flush-delay", type=float, default=None, metavar="SECONDS",
+        help="force batched knowledge propagation on every generated "
+        "scenario (proves the oracles hold with flush_delay > 0)",
+    )
     p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser(
@@ -283,7 +297,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay repro files (tests/corpus/*.json) and check verdicts",
     )
     p.add_argument("repro", nargs="+", help="repro JSON files to replay")
+    p.add_argument(
+        "--flush-delay", type=float, default=None, metavar="SECONDS",
+        help="override the scenarios' knowledge-batching knob before replay",
+    )
     p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser(
+        "bench",
+        help="deterministic hot-path benchmarks; emits BENCH_4.json and "
+        "gates CI on operation-counter regressions (docs/PERFORMANCE.md)",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full benchmark report (e.g. BENCH_4.json)",
+    )
+    p.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="fail (exit 1) on >tolerance regression of any deterministic "
+        "counter vs this committed baseline",
+    )
+    p.add_argument(
+        "--write-baseline", metavar="PATH", default=None,
+        help="write the current deterministic counters as the new baseline",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="allowed fractional counter growth for --check (default 0.05)",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=3,
+        help="wall-clock repetitions per benchmark (best-of)",
+    )
+    p.set_defaults(fn=_cmd_bench)
 
     return parser
 

@@ -71,6 +71,14 @@ class LivenessParams:
     #: upstream verbatim instead of suppressing ranges already curious in
     #: the istream — disables the paper's nack-consolidation rule.
     nack_consolidation: bool = True
+    #: Knowledge flush delay (seconds).  0 forwards knowledge immediately
+    #: per ingested message (the historical behaviour); > 0 batches: a
+    #: broker marks the (pubend, neighbor) ostream dirty and flushes one
+    #: coalesced KnowledgeMessage per ostream after this delay, trading a
+    #: bounded amount of propagation latency for far fewer messages (the
+    #: Gryphon information-flow batching optimization).  Retransmissions
+    #: answering curiosity are never delayed.
+    flush_delay: float = 0.0
 
     def with_(self, **overrides: object) -> "LivenessParams":
         """A copy with the given fields replaced."""

@@ -35,6 +35,36 @@ def _lower(value: K) -> K:
     return value
 
 
+# Module-level predicates for the hot IntervalMap queries, so the per-call
+# closure allocation the old inline lambdas paid is gone from the hot path.
+def _is_q(value: K) -> bool:
+    return value == K.Q
+
+
+def _not_final(value: K) -> bool:
+    return value != K.F
+
+
+def _is_curious(value: C) -> bool:
+    return value == C.C
+
+
+def _is_acked(value: C) -> bool:
+    return value == C.A
+
+
+def _not_acked(value: C) -> bool:
+    return value != C.A
+
+
+def _is_neutral(value: C) -> bool:
+    return value == C.N
+
+
+def _is_d(value: K) -> bool:
+    return value == K.D
+
+
 class KnowledgeStream:
     """Per-tick knowledge with payloads for D ticks.
 
@@ -66,7 +96,7 @@ class KnowledgeStream:
     def final_prefix(self) -> Tick:
         """First tick ``p`` such that tick ``p`` is not final; all ticks
         below ``p`` are F."""
-        first_nonfinal = self._map.first_with(lambda v: v != K.F, 0)
+        first_nonfinal = self._map.first_with(_not_final, 0)
         return first_nonfinal if first_nonfinal is not None else self.horizon()
 
     def horizon(self) -> Tick:
@@ -80,7 +110,7 @@ class KnowledgeStream:
         All ticks below the doubt horizon are D or F, so D messages below
         it may be delivered in order (paper section 2.3).
         """
-        first_q = self._map.first_with(lambda v: v == K.Q, 0)
+        first_q = self._map.first_with(_is_q, 0)
         return first_q if first_q is not None else self.horizon()
 
     def gaps(self) -> List[TickRange]:
@@ -88,7 +118,7 @@ class KnowledgeStream:
 
         These are the gaps whose persistence triggers curiosity (GCT).
         """
-        return self._map.ranges_with(lambda v: v == K.Q, 0, self.horizon())
+        return self._map.ranges_with(_is_q, 0, self.horizon())
 
     def runs(self) -> Iterator[Tuple[TickRange, K]]:
         """Stored non-Q runs, in order."""
@@ -147,12 +177,16 @@ class KnowledgeStream:
         D -> D* (lowered to F, payload dropped — the data is known to be
         unneeded downstream).  Returns True when anything changed.
         """
-        changed = self._map.first_with(lambda v: v != K.F, rng.start, rng.stop)
+        changed = self._map.first_with(_not_final, rng.start, rng.stop)
         if changed is None:
             return False
-        for tick in list(self._payloads):
-            if tick in rng:
-                del self._payloads[tick]
+        if self._payloads:
+            # Walk only the D runs inside the range instead of scanning
+            # the whole payload dict — the pubend's bracket-finalize hot
+            # loop finalizes payload-free ranges, which this makes O(log n).
+            for run in self._map.ranges_with(_is_d, rng.start, rng.stop):
+                for tick in run:
+                    self._payloads.pop(tick, None)
         self._map.set_range(rng, K.F)
         return True
 
@@ -174,9 +208,10 @@ class KnowledgeStream:
 
     def forget(self, rng: TickRange) -> None:
         """Drop every tick in ``rng`` to Q (soft-state loss or discard)."""
-        for tick in list(self._payloads):
-            if tick in rng:
-                del self._payloads[tick]
+        if self._payloads:
+            for run in self._map.ranges_with(_is_d, rng.start, rng.stop):
+                for tick in run:
+                    self._payloads.pop(tick, None)
         self._map.clear_range(rng)
 
     def forget_all(self) -> None:
@@ -218,7 +253,7 @@ class CuriosityStream:
 
     def ack_prefix(self) -> Tick:
         """First tick that is not A; all ticks below it are acknowledged."""
-        first = self._map.first_with(lambda v: v != C.A, 0)
+        first = self._map.first_with(_not_acked, 0)
         if first is not None:
             return first
         span = self._map.span()
@@ -226,7 +261,7 @@ class CuriosityStream:
 
     def set_ack(self, rng: TickRange) -> bool:
         """Mark ``rng`` anti-curious.  Returns True when anything changed."""
-        changed = self._map.first_with(lambda v: v != C.A, rng.start, rng.stop)
+        changed = self._map.first_with(_not_acked, rng.start, rng.stop)
         if changed is None:
             return False
         self._map.set_range(rng, C.A)
@@ -242,27 +277,27 @@ class CuriosityStream:
         nack message is propagated upstream only if some C tick accumulated
         in istream was not already C".
         """
-        fresh = self._map.ranges_with(lambda v: v == C.N, rng.start, rng.stop)
+        fresh = self._map.ranges_with(_is_neutral, rng.start, rng.stop)
         for piece in fresh:
             self._map.set_range(piece, C.C)
         return fresh
 
     def curious_ranges(self, rng: TickRange) -> List[TickRange]:
         """Sub-ranges of ``rng`` currently marked C."""
-        return self._map.ranges_with(lambda v: v == C.C, rng.start, rng.stop)
+        return self._map.ranges_with(_is_curious, rng.start, rng.stop)
 
     def acked_ranges(self, rng: TickRange) -> List[TickRange]:
         """Sub-ranges of ``rng`` currently marked A."""
-        return self._map.ranges_with(lambda v: v == C.A, rng.start, rng.stop)
+        return self._map.ranges_with(_is_acked, rng.start, rng.stop)
 
     def unacked_ranges(self, rng: TickRange) -> List[TickRange]:
         """Sub-ranges of ``rng`` not marked A (i.e. N or C)."""
-        return self._map.ranges_with(lambda v: v != C.A, rng.start, rng.stop)
+        return self._map.ranges_with(_not_acked, rng.start, rng.stop)
 
     def clear_curious(self, rng: TickRange) -> None:
         """Lower C ticks in ``rng`` back to N (curiosity serviced; the
         downstream will re-nack if the answer is lost)."""
-        for piece in self._map.ranges_with(lambda v: v == C.C, rng.start, rng.stop):
+        for piece in self._map.ranges_with(_is_curious, rng.start, rng.stop):
             self._map.set_range(piece, C.N)
 
     def forget_curiosity(self) -> None:
@@ -275,7 +310,7 @@ class CuriosityStream:
         span = self._map.span()
         if span is None:
             return
-        for rng in self._map.ranges_with(lambda v: v == C.C, span.start, span.stop):
+        for rng in self._map.ranges_with(_is_curious, span.start, span.stop):
             self._map.set_range(rng, C.N)
 
     def forget_all(self) -> None:

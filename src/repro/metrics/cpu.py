@@ -46,7 +46,16 @@ class CostModel:
     #: Appending one message to the stable log (GD only, PHB only).
     log_append: float = 40e-6
     #: Knowledge/curiosity stream bookkeeping per message (GD only).
+    #: Calibrated against the batched accumulate paths: with the
+    #: IntervalMap tail-append fast path the per-message bookkeeping is a
+    #: constant-time append rather than a splice, so the constant stays
+    #: small and independent of stream length.
     knowledge_update: float = 3e-6
+    #: Assembling one coalesced knowledge flush (flush_delay > 0): walking
+    #: the ostream delta above the sent watermark and building the merged
+    #: message.  Charged once per flush, amortizing knowledge_update over
+    #: every publication folded into the batch.
+    knowledge_flush: float = 5e-6
     #: Per-subscriber-delivery GD bookkeeping at the SHB.  The paper's
     #: consolidation optimization makes GD state *shared* across all
     #: subends at an SHB, so this is charged once per message, not per

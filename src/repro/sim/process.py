@@ -2,19 +2,28 @@
 
 A :class:`SimProcess` is a network node that owns timers.  Crashing a
 process must invalidate every timer it armed — a restarted broker must not
-be poked by callbacks belonging to its previous incarnation — so timers
-are wrapped with an *epoch* check: :meth:`crash` bumps the epoch and all
-older timers become no-ops.
+be poked by callbacks belonging to its previous incarnation.  Two
+mechanisms cooperate:
+
+* every timer carries an *epoch* check — :meth:`crash` bumps the epoch
+  and older timers become no-ops even if they somehow still fire;
+* pending timers are *tracked and cancelled* on crash, so the scheduler
+  skips them entirely and ``Scheduler.events_run`` stays a stable
+  cross-run work metric (dead-epoch timers firing as counted no-ops
+  would make the counter depend on crash timing).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Set
 
 from .network import Node, SimNetwork
 from .scheduler import Scheduler, TimerHandle
 
 __all__ = ["SimProcess"]
+
+#: Tracking-set size at which externally cancelled timers are pruned.
+_PRUNE_THRESHOLD = 256
 
 
 class SimProcess(Node):
@@ -25,33 +34,44 @@ class SimProcess(Node):
         self.network = network
         self.scheduler = scheduler
         self.epoch = 0
+        self._pending_timers: Set[TimerHandle] = set()
 
     # -- timers ---------------------------------------------------------
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
         """Arm a timer tied to this incarnation of the process."""
-        epoch = self.epoch
-        return self.scheduler.call_later(delay, lambda: self._fire(epoch, fn))
+        return self._track(self.scheduler.call_later(delay, fn), fn)
 
     def schedule_at(self, when: float, fn: Callable[[], None]) -> TimerHandle:
-        epoch = self.epoch
-        return self.scheduler.call_at(when, lambda: self._fire(epoch, fn))
+        return self._track(self.scheduler.call_at(when, fn), fn)
 
     def every(self, interval: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` every ``interval`` seconds until crash."""
-        epoch = self.epoch
 
         def tick() -> None:
-            if self.epoch != epoch or not self.alive:
-                return
             fn()
-            self.scheduler.call_later(interval, tick)
+            self.schedule(interval, tick)
 
-        self.scheduler.call_later(interval, tick)
+        self.schedule(interval, tick)
 
-    def _fire(self, epoch: int, fn: Callable[[], None]) -> None:
-        if self.epoch == epoch and self.alive:
-            fn()
+    def _track(self, handle: TimerHandle, fn: Callable[[], None]) -> TimerHandle:
+        """Gate ``handle`` on this incarnation and track it for crash
+        cancellation; fired or cancelled handles drop out of the set."""
+        epoch = self.epoch
+
+        def fire() -> None:
+            self._pending_timers.discard(handle)
+            if self.epoch == epoch and self.alive:
+                fn()
+
+        handle.fn = fire
+        pending = self._pending_timers
+        if len(pending) > _PRUNE_THRESHOLD:
+            # Timers cancelled through their handles (e.g. satisfied nack
+            # timers) never fire, so sweep them out once in a while.
+            self._pending_timers = {h for h in pending if not h.cancelled}
+        self._pending_timers.add(handle)
+        return handle
 
     def now(self) -> float:
         return self.scheduler.now
@@ -67,6 +87,9 @@ class SimProcess(Node):
             return
         self.alive = False
         self.epoch += 1
+        for handle in self._pending_timers:
+            handle.cancel()
+        self._pending_timers.clear()
         self.on_crash()
 
     def restart(self) -> None:

@@ -160,3 +160,117 @@ class TestDifferential:
         brute, indexed = both_matchers(subs)
         for event in evts:
             assert indexed.match(event) == brute.match(event)
+
+
+class TestMatchCache:
+    def test_repeat_match_hits_cache_with_equal_result(self):
+        indexed = IndexedMatcher(cache_size=8)
+        indexed.add("s", parse("group = 7"))
+        event = Event({"group": 7, "price": 3})
+        first = indexed.match(event)
+        second = indexed.match(Event({"group": 7, "price": 3}))
+        assert first == second == {"s"}
+        assert indexed.cache_misses == 1
+        assert indexed.cache_hits == 1
+
+    def test_add_invalidates_cache(self):
+        indexed = IndexedMatcher(cache_size=8)
+        indexed.add("a", parse("x = 1"))
+        event = Event({"x": 1})
+        assert indexed.match(event) == {"a"}
+        indexed.add("b", parse("x = 1"))
+        assert indexed.match(event) == {"a", "b"}
+
+    def test_remove_invalidates_cache(self):
+        indexed = IndexedMatcher(cache_size=8)
+        indexed.add("a", parse("x = 1"))
+        indexed.add("b", parse("x = 1"))
+        event = Event({"x": 1})
+        assert indexed.match(event) == {"a", "b"}
+        indexed.remove("a")
+        assert indexed.match(event) == {"b"}
+
+    def test_cached_result_is_a_private_copy(self):
+        indexed = IndexedMatcher(cache_size=8)
+        indexed.add("s", parse("x = 1"))
+        event = Event({"x": 1})
+        indexed.match(event).add("poison")
+        assert indexed.match(event) == {"s"}
+
+    def test_signature_distinguishes_true_from_one(self):
+        # Event({"flag": True}) and Event({"flag": 1}) must never share a
+        # cache entry, exactly as the eq index keeps them apart.
+        indexed = IndexedMatcher(cache_size=8)
+        indexed.add("s", parse("flag = true"))
+        assert indexed.match(Event({"flag": True})) == {"s"}
+        assert indexed.match(Event({"flag": 1})) == set()
+        assert indexed.match(Event({"flag": True})) == {"s"}
+        assert indexed.cache_misses == 2
+
+    def test_cache_size_zero_disables_caching(self):
+        indexed = IndexedMatcher(cache_size=0)
+        indexed.add("s", parse("x = 1"))
+        for __ in range(3):
+            assert indexed.match(Event({"x": 1})) == {"s"}
+        assert indexed.cache_hits == 0
+        assert indexed.cache_misses == 0
+
+    def test_lru_eviction_bounds_cache(self):
+        indexed = IndexedMatcher(cache_size=4)
+        indexed.add("s", parse("x = 1"))
+        for i in range(20):
+            indexed.match(Event({"x": i}))
+        assert len(indexed._cache) <= 4
+        # The most recent entry is still warm ...
+        indexed.match(Event({"x": 19}))
+        assert indexed.cache_hits == 1
+        # ... but the oldest was evicted.
+        indexed.match(Event({"x": 0}))
+        assert indexed.cache_misses == 21
+
+    def test_unhashable_attribute_value_bypasses_cache(self):
+        # Event() rejects non-scalar values, but match() accepts any
+        # mapping; the cache layer must shrug off unhashable values
+        # instead of raising, and simply skip memoization.
+        indexed = IndexedMatcher(cache_size=8)
+        indexed.add("s", parse("x = 1"))
+        weird = {"x": 1, "blob": [1, 2]}
+        assert indexed.match(weird) == {"s"}
+        assert indexed.match(weird) == {"s"}
+        assert indexed.cache_hits == 0
+        assert len(indexed._cache) == 0
+
+    @given(
+        st.lists(predicates(), min_size=1, max_size=8),
+        st.lists(events, min_size=1, max_size=10),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cached_matcher_equals_brute_force_under_churn(
+        self, preds, evts, data
+    ):
+        # Interleave match calls with add/remove churn; the cached matcher
+        # must track the brute-force reference at every step.
+        brute, cached = BruteForceMatcher(), IndexedMatcher(cache_size=4)
+        live = {}
+        for i, p in enumerate(preds):
+            live[f"s{i}"] = p
+            brute.add(f"s{i}", p)
+            cached.add(f"s{i}", p)
+        for event in evts:
+            # Match twice so warm cache entries are also compared.
+            assert cached.match(event) == brute.match(event)
+            assert cached.match(event) == brute.match(event)
+            action = data.draw(st.sampled_from(["none", "remove", "re_add"]))
+            if action == "remove" and live:
+                victim = data.draw(st.sampled_from(sorted(live)))
+                del live[victim]
+                brute.remove(victim)
+                cached.remove(victim)
+            elif action == "re_add" and preds:
+                sub_id = f"s{data.draw(st.integers(0, len(preds) - 1))}"
+                predicate = data.draw(st.sampled_from(preds))
+                live[sub_id] = predicate
+                brute.remove(sub_id)
+                brute.add(sub_id, predicate)
+                cached.add(sub_id, predicate)

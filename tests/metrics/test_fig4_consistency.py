@@ -1,0 +1,67 @@
+"""Fast Figure-4 consistency checks for the calibrated CPU cost model.
+
+``benchmarks/test_fig4_cpu_utilization.py`` reproduces the paper's full
+curves and is too slow for tier 1.  This file pins the *calibration
+invariants* that keep the curves stable across hot-path work — the new
+``knowledge_flush`` constant, the relative ordering of the cost table,
+and the sign/magnitude of the GD-vs-BE gap on a miniature sweep — so a
+perf PR that breaks the Figure-4 shape fails in seconds, not in the
+nightly benchmark run.
+"""
+
+import pytest
+
+from repro.core.config import LivenessParams
+from repro.experiments.fig45 import gd_minus_be, run_overhead_sweep
+from repro.metrics.cpu import CostModel
+
+
+class TestCostTableCalibration:
+    def test_knowledge_flush_between_update_and_receive(self):
+        # One coalesced flush costs more than one incremental update
+        # (it walks the dirty window) but far less than the per-message
+        # overhead it saves; outside this band, batching either looks
+        # free or can never pay for itself and Figure 4 drifts.
+        model = CostModel()
+        assert model.knowledge_update < model.knowledge_flush
+        assert model.knowledge_flush < model.msg_receive
+
+    def test_gd_costs_dominate_be_costs(self):
+        # Figure 4's premise: GD adds work on top of best-effort.
+        model = CostModel()
+        assert model.knowledge_update > 0
+        assert model.gd_subend_update > 0
+        assert model.log_append > model.msg_receive
+
+
+class TestMiniatureFigure4:
+    @pytest.fixture(scope="class")
+    def gaps(self):
+        points = run_overhead_sweep(
+            [40], input_rate=100.0, warmup=1.0, measure=3.0
+        )
+        return gd_minus_be(points)[40]
+
+    def test_gd_shb_cpu_gap_is_small_and_positive(self, gaps):
+        # The paper's headline: GD overhead on the SHB is a few percent.
+        assert 0.0 < gaps["shb_cpu_gap"] < 0.04
+
+    def test_gd_phb_cpu_gap_exceeds_shb_gap(self, gaps):
+        # The PHB pays for logging, so its gap dominates the SHB's.
+        assert gaps["phb_cpu_gap"] > gaps["shb_cpu_gap"]
+
+    def test_batching_does_not_inflate_shb_cpu(self):
+        # flush_delay trades latency for message volume; SHB utilization
+        # must not regress when batching is on.
+        immediate = run_overhead_sweep(
+            [40], protocols=("gd",), input_rate=100.0, warmup=1.0, measure=3.0
+        )[0]
+        batched = run_overhead_sweep(
+            [40],
+            protocols=("gd",),
+            input_rate=100.0,
+            warmup=1.0,
+            measure=3.0,
+            params=LivenessParams(flush_delay=0.05),
+        )[0]
+        assert batched.shb_cpu <= immediate.shb_cpu * 1.05

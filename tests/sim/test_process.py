@@ -95,6 +95,49 @@ class TestEpochTimers:
         scheduler.run_until(10.0)
         assert len(ticks) == 3
 
+    def test_crash_cancels_pending_timers_in_scheduler(self):
+        # Epoch gating alone would leave the dead timers in the heap as
+        # counted no-ops; crash() must *cancel* them so events_run stays
+        # a crash-timing-independent work metric.
+        scheduler, __, a, __b = make()
+        for i in range(10):
+            a.schedule(1.0 + i, lambda: None)
+        a.crash()
+        scheduler.run()
+        assert scheduler.events_run == 0
+        assert not a._pending_timers
+
+    def test_fired_timers_leave_tracking_set(self):
+        scheduler, __, a, __b = make()
+        a.schedule(1.0, lambda: None)
+        a.schedule(2.0, lambda: None)
+        scheduler.run()
+        assert not a._pending_timers
+
+    def test_externally_cancelled_timers_are_pruned(self):
+        # Handles cancelled through cancel() (not via crash) must not
+        # accumulate in the tracking set forever.
+        from repro.sim.process import _PRUNE_THRESHOLD
+
+        scheduler, __, a, __b = make()
+        for __i in range(_PRUNE_THRESHOLD + 10):
+            a.schedule(1.0, lambda: None).cancel()
+        assert len(a._pending_timers) <= _PRUNE_THRESHOLD + 1
+        scheduler.run()
+        assert scheduler.events_run == 0
+
+    def test_restart_after_crash_tracks_fresh_timers(self):
+        scheduler, __, a, __b = make()
+        fired = []
+        a.schedule(1.0, lambda: fired.append("old"))
+        a.crash()
+        a.restart()
+        a.schedule(2.0, lambda: fired.append("new"))
+        scheduler.run()
+        assert fired == ["new"]
+        assert scheduler.events_run == 1
+        assert not a._pending_timers
+
     def test_every_restarts_independently(self):
         scheduler, __, a, __b = make()
         ticks = []

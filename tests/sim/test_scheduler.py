@@ -102,3 +102,23 @@ class TestScheduling:
             s.call_at(float(i), lambda: None)
         s.run()
         assert s.events_run == 3
+
+    def test_cancelled_timers_not_counted_in_events_run(self):
+        # events_run is used as a deterministic work metric (the bench
+        # gate compares it across runs), so skipped-because-cancelled
+        # handles must not inflate it.
+        s = Scheduler()
+        handles = [s.call_at(float(i), lambda: None) for i in range(5)]
+        for handle in handles[1:4]:
+            handle.cancel()
+        s.run()
+        assert s.events_run == 2
+
+    def test_cancel_inside_callback_suppresses_later_event(self):
+        s = Scheduler()
+        out = []
+        later = s.call_at(2.0, lambda: out.append("later"))
+        s.call_at(1.0, later.cancel)
+        s.run()
+        assert out == []
+        assert s.events_run == 1

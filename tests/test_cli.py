@@ -21,6 +21,67 @@ class TestParser:
         assert args.rate == 200.0
 
 
+class TestBenchParser:
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.json is None
+        assert args.check is None
+        assert args.tolerance == 0.05
+        assert args.repeat == 3
+
+    def test_fuzz_and_replay_take_flush_delay(self):
+        assert build_parser().parse_args(
+            ["fuzz", "--flush-delay", "0.05"]
+        ).flush_delay == 0.05
+        assert build_parser().parse_args(
+            ["replay", "x.json", "--flush-delay", "0.02"]
+        ).flush_delay == 0.02
+
+
+class TestBenchCommand:
+    def test_bench_emits_report_and_baseline(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "BENCH.json"
+        baseline_path = tmp_path / "baseline.json"
+        assert main([
+            "bench",
+            "--repeat", "1",
+            "--json", str(report_path),
+            "--write-baseline", str(baseline_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batching reduction" in out
+
+        report = json.loads(report_path.read_text())
+        assert report["bench_version"] >= 4
+        assert set(report["benchmarks"]) == {
+            "interval_map_appends",
+            "knowledge_publish_pattern",
+            "matching_engine",
+            "chain_batching",
+        }
+        # The acceptance floors this PR is gated on.
+        assert report["derived"]["batching_reduction"] >= 2.0
+        assert report["derived"]["interval_fast_speedup"] >= 1.0
+
+        baseline = json.loads(baseline_path.read_text())
+        assert baseline["counters"] == report["counters"]
+        assert all(
+            isinstance(v, int) for v in baseline["counters"].values()
+        )
+
+    def test_gate_logic(self):
+        from repro.bench import compare_counters
+
+        baseline = {"a": 100, "b": 0, "c": 50}
+        assert compare_counters({"a": 100, "b": 0, "c": 52}, baseline) == []
+        assert compare_counters({"a": 111, "b": 0, "c": 50}, baseline)
+        assert compare_counters({"a": 100, "b": 1, "c": 50}, baseline)
+        # A counter vanishing from the report must fail loudly.
+        assert compare_counters({"a": 100, "b": 0}, baseline)
+
+
 class TestCommands:
     def test_quickcheck_passes(self, capsys):
         assert main(["quickcheck"]) == 0
