@@ -59,6 +59,7 @@ from ..matching.ast import (
 from ..matching.covering import summarize_subscriptions
 from ..core.edges import FilterEdge
 from ..obs.instruments import NULL_INSTRUMENTS, TICK_RANGE_BUCKETS
+from ..obs.lifecycle import LifecycleHub
 from .state import (
     BrokerTopologyInfo,
     Envelope,
@@ -175,11 +176,16 @@ class GDBrokerEngine:
         params: LivenessParams,
         services: BrokerServices,
         instruments: Any = NULL_INSTRUMENTS,
+        lifecycle: Optional[LifecycleHub] = None,
     ):
         self.topo = topo
         self.params = params
         self.services = services
         self.instruments = instruments
+        #: Per-message lifecycle event bus (see repro.obs.lifecycle).  A
+        #: private empty hub when the host passes none, so hot paths can
+        #: guard on ``self.lifecycle.listeners`` unconditionally.
+        self.lifecycle = lifecycle if lifecycle is not None else LifecycleHub()
         self._resolve_instruments(instruments)
         self.istreams: Dict[str, IStream] = {}
         #: pubend -> downstream cell -> OStream
@@ -306,6 +312,7 @@ class GDBrokerEngine:
                 self.params,
                 instruments=self.instruments,
                 node=self.topo.broker_id,
+                lifecycle=self.lifecycle,
             )
         return self.subend
 
@@ -363,12 +370,26 @@ class GDBrokerEngine:
         now = self.services.now()
         message = pubend.publish(payload, now)
         self.services.charge(0.0, "publish")  # cost charged by host wrapper
+        tick = message.data[0].tick
+        lc = self.lifecycle
+        if lc.listeners:
+            lc.published(now, self.topo.broker_id, pubend_id, tick)
         delay = pubend.log.commit_latency
         if delay > 0:
-            self.services.schedule(delay, lambda: self._ingest_local(message))
+
+            def commit() -> None:
+                if lc.listeners:
+                    lc.committed(
+                        self.services.now(), self.topo.broker_id, pubend_id, tick
+                    )
+                self._ingest_local(message)
+
+            self.services.schedule(delay, commit)
         else:
+            if lc.listeners:
+                lc.committed(now, self.topo.broker_id, pubend_id, tick)
             self._ingest_local(message)
-        return message.data[0].tick
+        return tick
 
     def _ingest_local(self, message: KnowledgeMessage) -> None:
         """Feed a locally generated knowledge message (publish or silence)
@@ -415,7 +436,7 @@ class GDBrokerEngine:
             self.bump("knowledge_unroutable")
             return
         if envelope.sideways and envelope.target_cell is not None:
-            self._relay_sideways(envelope)
+            self._relay_sideways(src, envelope)
             return
         ist = self._ensure_streams(pubend)
         if (
@@ -436,6 +457,11 @@ class GDBrokerEngine:
             if ist.stream.curiosity.value_at(data.tick) == C.C:
                 ist.stream.curiosity.clear_curious(TickRange.single(data.tick))
 
+        if self.lifecycle.listeners:
+            self.lifecycle.knowledge_ingested(
+                self.services.now(), self.topo.broker_id, src, message
+            )
+
         if self.subend is not None and self.subend.has_pubend(pubend):
             self.subend.on_knowledge(pubend)
         elif not self.ostreams.get(pubend):
@@ -451,7 +477,7 @@ class GDBrokerEngine:
         for cell in targets:
             self._propagate(ist, cells[cell], message, allow_sideways=not envelope.sideways)
 
-    def _relay_sideways(self, envelope: Envelope) -> None:
+    def _relay_sideways(self, src: str, envelope: Envelope) -> None:
         """Forward a cell peer's knowledge message toward its target cell.
 
         A sideways envelope carries the *peer's per-path view* toward the
@@ -477,12 +503,25 @@ class GDBrokerEngine:
                 ist.stream.accumulate_data(data.tick, data.payload)
                 if ist.stream.curiosity.value_at(data.tick) == C.C:
                     ist.stream.curiosity.clear_curious(TickRange.single(data.tick))
+        if self.lifecycle.listeners:
+            self.lifecycle.knowledge_ingested(
+                self.services.now(), self.topo.broker_id, src, message, relay=True
+            )
         target = self._pick_downstream_broker(message.pubend, envelope.target_cell)
         if target is None:
             self.bump("knowledge_undeliverable")
             return
         self._m_knowledge_sent.inc()
         self.services.send(target, Envelope(message), _knowledge_size(message))
+        if self.lifecycle.listeners:
+            self.lifecycle.knowledge_sent(
+                self.services.now(),
+                self.topo.broker_id,
+                target,
+                envelope.target_cell or "",
+                message,
+                "relay",
+            )
 
     def _path_matches(self, ost: OStream, payload: Any) -> bool:
         if not ost.filter.matches(payload):
@@ -540,7 +579,7 @@ class GDBrokerEngine:
         elif self.params.silence_broadcast and message.is_silence:
             out = self._build_silence(ost, filtered)
             if out is not None:
-                self._send_knowledge(ost, out, allow_sideways)
+                self._send_knowledge(ost, out, allow_sideways, kind="silence")
         # Whatever just arrived may also satisfy older curiosity on this
         # path (first-time silence for curious ticks, paper section 3.1).
         # Curiosity answers are never delayed by batching.
@@ -555,12 +594,24 @@ class GDBrokerEngine:
         # — before the flush fires, so they cannot be re-read later.
         ost.pending_data.extend(filtered.data)
         ost.pending_sideways = ost.pending_sideways and allow_sideways
+        armed = False
         if not ost.flush_pending:
             ost.flush_pending = True
+            armed = True
             pubend, cell = ost.pubend, ost.cell
             self.services.schedule(
                 self.params.flush_delay,
                 lambda: self._flush_ostream(pubend, cell),
+            )
+        if self.lifecycle.listeners:
+            self.lifecycle.flush_deferred(
+                self.services.now(),
+                self.topo.broker_id,
+                ost.pubend,
+                ost.cell,
+                [d.tick for d in filtered.data],
+                armed,
+                self.params.flush_delay,
             )
 
     def _flush_ostream(self, pubend: str, cell: str) -> None:
@@ -595,6 +646,12 @@ class GDBrokerEngine:
             if knowledge.value_at(tick) == K.D:
                 data.append(pending[tick])
         if not data and not f_runs and fin <= ost.sent_watermark:
+            # The coalesced message turned out empty (ticks finalized or
+            # acked meanwhile): the timer's work was cancelled out.
+            if self.lifecycle.listeners:
+                self.lifecycle.knowledge_flushed(
+                    self.services.now(), self.topo.broker_id, pubend, cell, (), False
+                )
             return
         ost.sent_watermark = max(ost.sent_watermark, hi)
         out = KnowledgeMessage(
@@ -606,7 +663,16 @@ class GDBrokerEngine:
         )
         self.bump("knowledge_flushes")
         self._m_knowledge_flushes.inc()
-        self._send_knowledge(ost, out, allow_sideways)
+        if self.lifecycle.listeners:
+            self.lifecycle.knowledge_flushed(
+                self.services.now(),
+                self.topo.broker_id,
+                pubend,
+                cell,
+                [d.tick for d in data],
+                True,
+            )
+        self._send_knowledge(ost, out, allow_sideways, kind="flush")
 
     def _build_first_time(
         self, ost: OStream, filtered: KnowledgeMessage
@@ -721,15 +787,30 @@ class GDBrokerEngine:
         self._send_knowledge(ost, out, allow_sideways)
 
     def _send_knowledge(
-        self, ost: OStream, message: KnowledgeMessage, allow_sideways: bool = True
+        self,
+        ost: OStream,
+        message: KnowledgeMessage,
+        allow_sideways: bool = True,
+        kind: str = "first",
     ) -> None:
         target = self._pick_downstream_broker(ost.pubend, ost.cell)
         self.services.charge(0.0, "knowledge_send")
         self.services.on_knowledge_message(message)
+        if message.retransmit:
+            kind = "retransmit"
         if target is not None:
             self.bump("knowledge_sent")
             self._m_knowledge_sent.inc()
             self.services.send(target, Envelope(message), _knowledge_size(message))
+            if self.lifecycle.listeners:
+                self.lifecycle.knowledge_sent(
+                    self.services.now(),
+                    self.topo.broker_id,
+                    target,
+                    ost.cell,
+                    message,
+                    kind,
+                )
             return
         if allow_sideways:
             peer = self._pick_sideways_peer(ost.cell)
@@ -741,6 +822,16 @@ class GDBrokerEngine:
                     Envelope(message, target_cell=ost.cell, sideways=True),
                     _knowledge_size(message),
                 )
+                if self.lifecycle.listeners:
+                    self.lifecycle.knowledge_sent(
+                        self.services.now(),
+                        self.topo.broker_id,
+                        peer,
+                        ost.cell,
+                        message,
+                        kind,
+                        sideways=True,
+                    )
                 return
         self.bump("knowledge_undeliverable")
 
@@ -752,28 +843,38 @@ class GDBrokerEngine:
         self.services.charge(0.0, "control")
         self.bump("nacks_received")
         self._m_nacks_received.inc()
-        pubend = nack.pubend
-        ist = self.istreams.get(pubend)
-        if ist is None:
-            return
-        cell = self.topo.cell_of.get(src)
-        ost = self.ostreams.get(pubend, {}).get(cell) if cell else None
-        if ost is None:
-            return
-        for rng in nack.ranges:
-            ost.stream.set_curious(rng)
-        # Answer over the *requested* ranges, not just the ticks that are
-        # still curious after the F <-> A linkage: ticks that are already
-        # final here are exactly the ones we can answer with silence.
-        self._answer_curiosity(ist, ost, list(nack.ranges))
-        # Whatever is still curious on the path could not be satisfied
-        # locally; accumulate into the istream and forward only the fresh
-        # part upstream (nack consolidation).
-        unsatisfied: List[TickRange] = []
-        for rng in nack.ranges:
-            unsatisfied.extend(ost.stream.curiosity.curious_ranges(rng))
-        if unsatisfied:
-            self._escalate_curiosity(pubend, ist, unsatisfied)
+        lc = self.lifecycle
+        if lc.listeners:
+            # Scope marker: retransmissions sent before nack_done are
+            # causally children of this nack.
+            lc.nack_received(self.services.now(), self.topo.broker_id, src, nack)
+        try:
+            pubend = nack.pubend
+            ist = self.istreams.get(pubend)
+            if ist is None:
+                return
+            cell = self.topo.cell_of.get(src)
+            ost = self.ostreams.get(pubend, {}).get(cell) if cell else None
+            if ost is None:
+                return
+            for rng in nack.ranges:
+                ost.stream.set_curious(rng)
+            # Answer over the *requested* ranges, not just the ticks that
+            # are still curious after the F <-> A linkage: ticks that are
+            # already final here are exactly the ones we can answer with
+            # silence.
+            self._answer_curiosity(ist, ost, list(nack.ranges))
+            # Whatever is still curious on the path could not be satisfied
+            # locally; accumulate into the istream and forward only the
+            # fresh part upstream (nack consolidation).
+            unsatisfied: List[TickRange] = []
+            for rng in nack.ranges:
+                unsatisfied.extend(ost.stream.curiosity.curious_ranges(rng))
+            if unsatisfied:
+                self._escalate_curiosity(pubend, ist, unsatisfied)
+        finally:
+            if lc.listeners:
+                lc.nack_done(self.services.now(), self.topo.broker_id)
 
     def local_nack(self, pubend: str, ranges: List[TickRange]) -> None:
         """Curiosity initiated by a local subend."""
@@ -808,6 +909,10 @@ class GDBrokerEngine:
         self._m_nacks_sent.inc()
         self._m_nack_range_ticks.observe(float(sum(len(r) for r in fresh)))
         self.services.on_nack_message(pubend, fresh)
+        if self.lifecycle.listeners:
+            self.lifecycle.nack_sent(
+                self.services.now(), self.topo.broker_id, pubend, fresh, message
+            )
         self._send_upstream(pubend, ist, Envelope(message), size=64)
 
     def _curiosity_sweep(self) -> None:
@@ -1182,6 +1287,13 @@ class GDBrokerEngine:
             message = pb.maybe_silence(now)
             if message is not None:
                 self._m_silence_messages.inc()
+                if self.lifecycle.listeners:
+                    self.lifecycle.silence_emitted(
+                        now,
+                        self.topo.broker_id,
+                        pb.pubend_id,
+                        pb.stream.horizon(),
+                    )
                 self._ingest_local(message)
 
     def _subend_check(self) -> None:

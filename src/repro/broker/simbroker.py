@@ -143,8 +143,15 @@ class SimBroker(SimProcess):
         #: behind — and what the truncation oracle introspects.
         self._inflight_client_writes: Set[Tuple[str, str, Tick]] = set()
         self.services = _SimServices(self)
+        # The engine shares the system-wide lifecycle hub, so causal
+        # tracers attached to system.obs see every incarnation of this
+        # broker (on_restart threads the same hub into the new engine).
         self.engine = GDBrokerEngine(
-            topo, params, self.services, instruments=self.obs.instruments
+            topo,
+            params,
+            self.services,
+            instruments=self.obs.instruments,
+            lifecycle=self.obs.lifecycle,
         )
         self._started = False
 
@@ -228,9 +235,18 @@ class SimBroker(SimProcess):
         delay = (completion - self.scheduler.now) + self.client_latency
         key = (subscriber, pubend, tick)
         self._inflight_client_writes.add(key)
+        lifecycle = self.obs.lifecycle
+        if lifecycle.listeners:
+            lifecycle.client_write(
+                self.scheduler.now, self.node_id, subscriber, pubend, tick, delay
+            )
 
         def complete() -> None:
             self._inflight_client_writes.discard(key)
+            if lifecycle.listeners:
+                lifecycle.delivered(
+                    self.scheduler.now, self.node_id, subscriber, pubend, tick
+                )
             client.on_delivery(pubend, tick, payload, self.scheduler.now)
 
         self.schedule(delay, complete)
@@ -268,6 +284,11 @@ class SimBroker(SimProcess):
         # Messages are processed when the CPU gets to them: a busy or
         # freshly restarted broker delays its queue, which is visible as
         # end-to-end latency (Figures 5 and 7).
+        lifecycle = self.obs.lifecycle
+        if lifecycle.listeners:
+            # Raw arrival time, before the CPU work queue: the gap to the
+            # engine's ingest is attributable queueing delay.
+            lifecycle.message_arrived(self.scheduler.now, self.node_id, src, message)
         completion = self.accountant.charge(self.cost_model.msg_receive, "receive")
         delay = completion - self.scheduler.now
         if delay > 1e-6:
@@ -290,7 +311,11 @@ class SimBroker(SimProcess):
         if self.restart_warmup:
             self.accountant.charge(self.restart_warmup, "warmup")
         self.engine = GDBrokerEngine(
-            self.topo, self.params, self.services, instruments=self.obs.instruments
+            self.topo,
+            self.params,
+            self.services,
+            instruments=self.obs.instruments,
+            lifecycle=self.obs.lifecycle,
         )
         for hosting in self._hostings.values():
             self._adopt(hosting, recover=True)

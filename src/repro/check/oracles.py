@@ -60,12 +60,23 @@ ORACLES = (
 
 
 class OracleFailure(AssertionError):
-    """One violated oracle, tagged for triage."""
+    """One violated oracle, tagged for triage.
 
-    def __init__(self, oracle: str, message: str):
+    ``subject`` is the violating publication identity ``(pubend, tick)``
+    when the oracle can name one — the hook causal tracers use to dump
+    the offending message's span timeline next to a shrunk repro.
+    """
+
+    def __init__(
+        self,
+        oracle: str,
+        message: str,
+        subject: Optional[Tuple[str, Tick]] = None,
+    ):
         super().__init__(f"[{oracle}] {message}")
         self.oracle = oracle
         self.message = message
+        self.subject = subject
 
 
 class OracleSuite:
@@ -192,6 +203,7 @@ class OracleSuite:
                                 f"{subscription.subscriber} at "
                                 f"{broker.node_id} ({origin}, "
                                 f"t={self.system.scheduler.now:.3f})",
+                                subject=(pubend_id, tick),
                             )
                     self._trunc_checked[key] = index
 
@@ -302,6 +314,7 @@ class OracleSuite:
                 continue
             report = checker.check(client, subscription)
             if not report.exactly_once:
+                offenders = report.missing or report.unexpected
                 failures.append(
                     OracleFailure(
                         "exactly-once",
@@ -310,6 +323,7 @@ class OracleSuite:
                         f"unexpected {report.unexpected[:3]} "
                         f"({report.delivered}/{report.matching_published} "
                         f"delivered)",
+                        subject=offenders[0] if offenders else None,
                     )
                 )
         failures.extend(self._total_order_check(subscribers))

@@ -52,12 +52,22 @@ class RunResult:
     scenario: Scenario
     failures: List[str] = field(default_factory=list)
     oracles_failed: List[str] = field(default_factory=list)
+    #: Violating publication identities ``(pubend, tick)``, when the
+    #: failing oracles could name them.
+    subjects: List[Tuple[str, int]] = field(default_factory=list)
     published: int = 0
     delivered: int = 0
     sweeps: int = 0
     sim_time: float = 0.0
     fault_log: List[str] = field(default_factory=list)
     digest: str = ""
+    #: The run's :class:`~repro.obs.causal.CausalTracer` when the caller
+    #: asked for one (``run_scenario(..., causal=True)``), else None.
+    causal: Any = None
+    #: Rendered causal span timeline of the first subject (with the
+    #: failure message as header) — the artifact the fuzzer writes next
+    #: to a shrunk repro file.
+    causal_timeline: str = ""
 
     @property
     def ok(self) -> bool:
@@ -136,10 +146,20 @@ def _digest(system: System, failures: List[str]) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-def run_scenario(scenario: Scenario) -> RunResult:
-    """Build, fault, run and judge one scenario (deterministic)."""
+def run_scenario(scenario: Scenario, causal: bool = False) -> RunResult:
+    """Build, fault, run and judge one scenario (deterministic).
+
+    With ``causal=True`` a :class:`~repro.obs.causal.CausalTracer` rides
+    along (pure observation — the digest is unchanged) and the result
+    carries the span timeline of the first oracle-failure subject.
+    """
     meta = build_topology(scenario)
     system = meta.topo.build(seed=scenario.seed, params=scenario.params())
+    tracer = None
+    if causal:
+        from ..obs.causal import CausalTracer
+
+        tracer = CausalTracer(system).install()
     if scenario.drop_probability or scenario.jitter:
         for a, b in meta.links:
             link = system.network.link(a, b)
@@ -177,9 +197,13 @@ def run_scenario(scenario: Scenario) -> RunResult:
         for failure in suite.final_check(publishers):
             result.failures.append(str(failure))
             result.oracles_failed.append(failure.oracle)
+            if failure.subject is not None:
+                result.subjects.append(failure.subject)
     except OracleFailure as exc:
         result.failures.append(str(exc))
         result.oracles_failed.append(exc.oracle)
+        if exc.subject is not None:
+            result.subjects.append(exc.subject)
     except (DuplicateDelivery, OrderViolation) as exc:
         result.failures.append(f"[delivery-safety] {exc}")
         result.oracles_failed.append("delivery-safety")
@@ -199,6 +223,14 @@ def run_scenario(scenario: Scenario) -> RunResult:
             "Oracle violations observed by the fuzz harness, by oracle.",
             oracle=oracle,
         ).inc()
+    if tracer is not None:
+        result.causal = tracer
+        if result.subjects:
+            pubend, tick = result.subjects[0]
+            result.causal_timeline = tracer.render_timeline(
+                pubend, tick,
+                header=result.failures[0] if result.failures else "",
+            )
     return result
 
 
@@ -271,6 +303,16 @@ def fuzz(
                 f"minimized to {len(small.faults)} fault(s); repro "
                 f"written to {path}"
             )
+            # Re-run the shrunk scenario under the causal tracer (pure
+            # observation: same digest) and dump the violating message's
+            # span timeline next to the repro for triage.
+            causal_result = run_scenario(small, causal=True)
+            if causal_result.causal_timeline:
+                timeline_path = path[: -len(".json")] + ".timeline.txt"
+                with open(timeline_path, "w") as handle:
+                    handle.write(causal_result.causal_timeline)
+                say(f"causal timeline of {causal_result.subjects[0]} "
+                    f"written to {timeline_path}")
         if stop_on_failure:
             break
     report.elapsed = time.monotonic() - started

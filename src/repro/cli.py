@@ -7,6 +7,7 @@ Examples::
     python -m repro overhead --subs 100 400 --rate 200
     python -m repro quickcheck            # fast end-to-end sanity run
     python -m repro stats --topology figure3 --duration 5   # metrics snapshot
+    python -m repro trace --drop 0.1 --chrome out.json    # causal spans + Perfetto
     python -m repro fuzz --seed 7 --runs 50 --shrink      # oracle fuzzing
     python -m repro replay tests/corpus/*.json            # corpus replay
 
@@ -145,13 +146,56 @@ def _stats_system(args: argparse.Namespace):
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs.causal import CausalTracer
+    from .obs.detectors import DetectorSet
+
     system = _stats_system(args)
+    # Snapshots include the causal/detector gauge families, so the
+    # exported schema matches what `repro trace` reports on.
+    CausalTracer(system).install()
+    DetectorSet(system).install()
     system.run_for(args.duration)
     if args.format == "json":
         system.obs.json_lines(sys.stdout)
     else:
         sys.stdout.write(system.obs.prometheus())
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.attribution import build_report
+    from .obs.causal import CausalTracer
+    from .obs.detectors import DetectorSet
+
+    system = _stats_system(args)
+    tracer = CausalTracer(system).install()
+    detectors = DetectorSet(system).install()
+    system.run_for(args.duration)
+
+    report = build_report(tracer)
+    sys.stdout.write(report.format(top=args.top))
+    bad = [b for b in report.breakdowns if not b.check_sum(1e-9)]
+    if bad:
+        print(f"WARNING: {len(bad)} breakdown(s) do not sum to their total")
+    if detectors.findings:
+        print(f"\n{len(detectors.findings)} anomaly finding(s):")
+        for finding in detectors.findings:
+            print(f"  {finding.render()}")
+
+    if args.chrome:
+        count = tracer.export_chrome(args.chrome)
+        print(f"\nwrote {count} trace events to {args.chrome} "
+              f"(open in Perfetto / chrome://tracing)")
+
+    if args.timeline:
+        pubend, _, tick_text = args.timeline.rpartition(":")
+        if not pubend:
+            print(f"--timeline wants PUBEND:TICK, got {args.timeline!r}",
+                  file=sys.stderr)
+            return 2
+        print()
+        sys.stdout.write(tracer.render_timeline(pubend, int(tick_text)))
+    return 1 if bad else 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -259,6 +303,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser(
+        "trace",
+        help="run a canned workload under the causal tracer and print the "
+        "latency-attribution report (docs/OBSERVABILITY.md)",
+    )
+    p.add_argument(
+        "--topology", choices=("figure3", "two_broker"), default="two_broker"
+    )
+    p.add_argument("--duration", type=float, default=5.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--drop", type=float, default=0.0,
+        help="drop probability on the PHB's links (exercises retransmit_wait)",
+    )
+    p.add_argument(
+        "--chrome", metavar="OUT",
+        help="write the span store as Chrome trace-event JSON for Perfetto",
+    )
+    p.add_argument(
+        "--timeline", metavar="PUBEND:TICK",
+        help="print the causal span timeline of one publication identity",
+    )
+    p.add_argument(
+        "--top", type=int, default=5,
+        help="also list the N slowest deliveries with their dominant component",
+    )
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
         "fuzz",
         help="deterministic fault-schedule fuzzing under the exactly-once "
         "oracle suite (see docs/FUZZING.md)",
@@ -328,6 +400,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--repeat", type=int, default=3,
         help="wall-clock repetitions per benchmark (best-of)",
+    )
+    p.add_argument(
+        "--max-trace-overhead", type=float, default=None, metavar="FRACTION",
+        help="fail (exit 1) when causal tracing slows the chain run by "
+        "more than this fraction of wall-clock (CI uses 0.10)",
     )
     p.set_defaults(fn=_cmd_bench)
 

@@ -83,6 +83,10 @@ class Pubend:
         #: rebuilt from the durable truncation point after a crash).
         self.acked_up_to: Tick = 0
         self.publish_count = 0
+        #: Last time this pubend emitted anything — data or silence.
+        #: Liveness detectors compare this against ``silence_interval``:
+        #: a healthy idle pubend refreshes it via :meth:`maybe_silence`.
+        self.last_emission: float = 0.0
         #: Oracle hook: called as ``on_truncate(pubend_id, up_to)``
         #: *before* the stable log is truncated, so external checkers
         #: (``repro.check``) can assert that no unacked tick is about to
@@ -153,6 +157,7 @@ class Pubend:
             self.stream.accumulate_final(future)
             f_ranges.append(future)
         self.publish_count += 1
+        self.last_emission = now
         return KnowledgeMessage(
             pubend=self.pubend_id,
             fin_prefix=self.acked_up_to,
@@ -179,6 +184,7 @@ class Pubend:
             return None
         rng = TickRange(horizon, now_tick)
         self.stream.accumulate_final(rng)
+        self.last_emission = now
         return KnowledgeMessage(
             pubend=self.pubend_id,
             fin_prefix=self.acked_up_to,

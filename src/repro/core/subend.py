@@ -194,11 +194,15 @@ class SubendManager:
         params: LivenessParams,
         instruments: Any = NULL_INSTRUMENTS,
         node: str = "",
+        lifecycle: Any = None,
     ):
         self.services = services
         self.params = params
         self._instruments = instruments
         self._node = node
+        #: Per-message lifecycle bus (duck-typed LifecycleHub or None):
+        #: reports horizon advances and subend-initiated curiosity.
+        self._lifecycle = lifecycle
         labels = {"broker": node}
         self._m_deliveries = instruments.counter(
             "repro_subend_deliveries_total",
@@ -357,6 +361,14 @@ class SubendManager:
             return
         if self.on_horizon_advance is not None:
             self.on_horizon_advance(state.pubend, state.delivered_horizon, horizon)
+        if self._lifecycle is not None and self._lifecycle.listeners:
+            self._lifecycle.horizon_advanced(
+                self.services.now(),
+                self._node,
+                state.pubend,
+                state.delivered_horizon,
+                horizon,
+            )
         subs = self._by_pubend.get(state.pubend, ())
         if subs:
             window = TickRange(state.delivered_horizon, horizon)
@@ -483,6 +495,10 @@ class SubendManager:
             chopped.extend(rng.split(self.params.nack_chop))
         now = self.services.now()
         for piece in chopped:
+            if self._lifecycle is not None and self._lifecycle.listeners:
+                self._lifecycle.subend_nack(
+                    now, self._node, state.pubend, [piece], 1
+                )
             self.services.send_nack(state.pubend, [piece])
             state.nacks_sent += 1
             state.nack_ticks_sent += len(piece)
@@ -513,6 +529,10 @@ class SubendManager:
             return
         now = self.services.now()
         for rng in record.ranges:
+            if self._lifecycle is not None and self._lifecycle.listeners:
+                self._lifecycle.subend_nack(
+                    now, self._node, state.pubend, [rng], record.attempts + 1
+                )
             self.services.send_nack(state.pubend, [rng])
             state.nacks_sent += 1
             state.nack_ticks_sent += len(rng)

@@ -82,6 +82,8 @@ class FaultInjector:
         obs = getattr(self.system, "obs", None)
         if obs is not None:
             obs.record_fault_event(event)
+            if obs.lifecycle.listeners:
+                obs.lifecycle.fault(now, kind, target)
         if self.tracer is not None:
             self.tracer.record_fault(legacy)
 

@@ -10,14 +10,23 @@ production-style instruments the reproduction grew on top of them:
   also holds the legacy :class:`MetricsHub` and registered
   :class:`~repro.metrics.cpu.CpuAccountant` / :class:`Tracer` peers;
 * :func:`prometheus_text` / :func:`json_lines` / :func:`parse_prometheus`
-  — snapshot exporters (also available via ``repro stats``).
+  — snapshot exporters (also available via ``repro stats``);
+* :class:`LifecycleHub` / :class:`LifecycleListener` — the per-message
+  lifecycle event bus every broker layer reports into;
+* :class:`CausalTracer` / :class:`Span` — causal span trees per
+  ``(pubend, tick)`` with Perfetto/Chrome export;
+* :func:`build_report` / :class:`AttributionReport` — end-to-end latency
+  decomposed into protocol components per delivery and route;
+* :class:`DetectorSet` / :class:`Finding` — online anomaly detectors
+  (horizon stall, retransmission storm, silence violation).
 
-``Tracer`` is imported lazily to keep this package importable from the
-broker engine without a cycle.
+``Tracer`` and the causal layer are imported lazily to keep this package
+importable from the broker engine without a cycle.
 """
 
 from .exporters import json_lines, parse_prometheus, prometheus_text, snapshot
 from .hub import MetricsHub
+from .lifecycle import LifecycleHub, LifecycleListener
 from .instruments import (
     DEFAULT_BUCKETS,
     NULL_INSTRUMENTS,
@@ -32,30 +41,53 @@ from .instruments import (
 from .observability import Observability
 
 __all__ = [
+    "AttributionReport",
+    "CausalTracer",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DetectorSet",
+    "Finding",
     "Gauge",
     "Histogram",
     "Instruments",
+    "LatencyBreakdown",
+    "LifecycleHub",
+    "LifecycleListener",
     "MetricsHub",
     "NULL_INSTRUMENTS",
     "NullInstruments",
     "Observability",
     "ScopedTimer",
+    "Span",
     "TICK_RANGE_BUCKETS",
     "TraceEvent",
     "Tracer",
+    "build_report",
     "json_lines",
     "parse_prometheus",
     "prometheus_text",
     "snapshot",
 ]
 
+_LAZY = {
+    "Tracer": "trace",
+    "TraceEvent": "trace",
+    "CausalTracer": "causal",
+    "Span": "causal",
+    "AttributionReport": "attribution",
+    "LatencyBreakdown": "attribution",
+    "build_report": "attribution",
+    "DetectorSet": "detectors",
+    "Finding": "detectors",
+}
+
 
 def __getattr__(name: str):
-    # Lazy: obs.trace imports broker state, which imports this package.
-    if name in ("Tracer", "TraceEvent"):
-        from . import trace
+    # Lazy: obs.trace imports broker state, which imports this package;
+    # the causal layer follows the same pattern for consistency.
+    module = _LAZY.get(name)
+    if module is not None:
+        import importlib
 
-        return getattr(trace, name)
+        return getattr(importlib.import_module(f".{module}", __name__), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,226 @@
+"""Online anomaly detectors for a running simulation.
+
+A :class:`DetectorSet` arms one periodic sweep on the system scheduler
+and watches for the protocol pathologies the paper's recovery machinery
+is supposed to prevent:
+
+* **doubt-horizon stall** — a subend's delivered horizon is behind the
+  publisher's log but has not advanced for ``stall_after`` seconds
+  (recovery stopped converging; cf. the self-stabilization literature);
+* **retransmission storm** — the fleet-wide retransmission rate over the
+  last sweep window exceeds ``storm_rate`` per second (curiosity is
+  being answered but never satisfied);
+* **silence violation** — a hosted pubend has emitted nothing (data or
+  silence) for more than ``silence_factor`` times its silence interval
+  while its broker is alive (lazy silence is broken, so downstream
+  subends cannot distinguish an idle stream from a dead one).
+
+Findings are structured :class:`Finding` records pushed into
+``system.obs`` (:meth:`~repro.obs.observability.Observability.record_finding`),
+which counts them into ``repro_detector_findings_total`` by detector;
+the sweep also maintains gauges so exported snapshots show the current
+stall age / retransmission rate even before a threshold trips.
+
+Detectors are read-only over engine state: they never mutate protocol
+state, so an armed DetectorSet changes the scheduler's event count but
+not a run's behaviour or result digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from .lifecycle import LifecycleListener
+
+__all__ = ["Finding", "DetectorSet"]
+
+DETECTORS = ("horizon_stall", "retransmission_storm", "silence_violation")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured anomaly observation."""
+
+    t: float
+    detector: str
+    node: str
+    pubend: str
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return f"{self.t:10.4f}  {self.detector:<22} {self.node:<6} {self.message}"
+
+
+class DetectorSet(LifecycleListener):
+    """Periodic anomaly sweeps over a built system."""
+
+    def __init__(
+        self,
+        system,
+        interval: float = 0.25,
+        stall_after: float = 2.0,
+        storm_rate: float = 200.0,
+        silence_factor: float = 3.0,
+    ):
+        self.system = system
+        self.obs = getattr(system, "obs", None)
+        self.interval = interval
+        self.stall_after = stall_after
+        self.storm_rate = storm_rate
+        self.silence_factor = silence_factor
+        self.findings: List[Finding] = []
+        self._installed = False
+        # (broker, pubend) -> (last seen delivered horizon, time it moved,
+        #  finding already raised for this stall episode)
+        self._horizons: Dict[Tuple[str, str], List[Any]] = {}
+        self._retransmits_window = 0
+        self._storm_active = False
+        self._silence_flagged: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+
+    def install(self) -> "DetectorSet":
+        if self._installed:
+            return self
+        self._installed = True
+        if self.obs is not None:
+            self.obs.lifecycle.attach(self)
+            # Pre-create the finding counter families with every detector
+            # label so exported snapshots have a stable schema even when
+            # nothing anomalous happened.
+            for detector in DETECTORS:
+                self.obs.counter(
+                    "repro_detector_findings_total",
+                    "Anomaly findings raised by online detectors, by detector.",
+                    detector=detector,
+                )
+            self.obs.gauge(
+                "repro_detector_horizon_stall_seconds",
+                "Age of the oldest currently stalled subend doubt horizon",
+            ).set(0.0)
+            self.obs.gauge(
+                "repro_detector_retransmission_rate",
+                "Fleet-wide retransmissions per second over the last sweep window",
+            ).set(0.0)
+            self.obs.gauge(
+                "repro_detector_silence_age_seconds",
+                "Age of the most overdue hosted pubend emission",
+            ).set(0.0)
+        self._arm()
+        return self
+
+    def _arm(self) -> None:
+        self.system.scheduler.call_later(self.interval, self._sweep)
+
+    # -- lifecycle hooks (retransmission accounting) ---------------------
+
+    def knowledge_sent(self, t, node, dst, cell, message, kind, sideways=False):
+        if kind == "retransmit":
+            self._retransmits_window += 1
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, finding: Finding) -> None:
+        self.findings.append(finding)
+        if self.obs is not None:
+            self.obs.record_finding(finding)
+
+    def _sweep(self) -> None:
+        now = self.system.scheduler.now
+        self._check_horizons(now)
+        self._check_storm(now)
+        self._check_silence(now)
+        self._arm()
+
+    def _check_horizons(self, now: float) -> None:
+        worst = 0.0
+        for broker_id, broker in sorted(self.system.brokers.items()):
+            engine = getattr(broker, "engine", None)
+            if engine is None or engine.subend is None:
+                continue
+            for pubend, info in sorted(engine.stream_state().items()):
+                sub = info.get("subend")
+                if sub is None:
+                    continue
+                horizon = sub["delivered_horizon"]
+                istream_max = info["istream"]["horizon"]
+                key = (broker_id, pubend)
+                state = self._horizons.get(key)
+                if state is None or state[0] != horizon:
+                    self._horizons[key] = [horizon, now, False]
+                    continue
+                in_doubt = istream_max > horizon
+                age = now - state[1]
+                if in_doubt:
+                    worst = max(worst, age)
+                if in_doubt and age >= self.stall_after and not state[2]:
+                    state[2] = True
+                    self._emit(
+                        Finding(
+                            now,
+                            "horizon_stall",
+                            broker_id,
+                            pubend,
+                            f"delivered horizon stuck at {horizon} for "
+                            f"{age:.2f}s while istream has ticks up to "
+                            f"{istream_max}",
+                            {"horizon": horizon, "istream_max": istream_max,
+                             "age": age},
+                        )
+                    )
+        if self.obs is not None:
+            self.obs.gauge("repro_detector_horizon_stall_seconds").set(worst)
+
+    def _check_storm(self, now: float) -> None:
+        rate = self._retransmits_window / self.interval
+        self._retransmits_window = 0
+        if self.obs is not None:
+            self.obs.gauge("repro_detector_retransmission_rate").set(rate)
+        if rate >= self.storm_rate:
+            if not self._storm_active:
+                self._storm_active = True
+                self._emit(
+                    Finding(
+                        now,
+                        "retransmission_storm",
+                        "*",
+                        "*",
+                        f"{rate:.0f} retransmissions/s across the fleet "
+                        f"(threshold {self.storm_rate:.0f}/s)",
+                        {"rate": rate},
+                    )
+                )
+        else:
+            self._storm_active = False
+
+    def _check_silence(self, now: float) -> None:
+        worst = 0.0
+        limit_factor = self.silence_factor
+        for broker_id, broker in sorted(self.system.brokers.items()):
+            engine = getattr(broker, "engine", None)
+            if engine is None:
+                continue
+            for pubend_id, pubend in sorted(engine.pubends.items()):
+                age = now - pubend.last_emission
+                worst = max(worst, age)
+                limit = limit_factor * pubend.silence_interval
+                if age > limit:
+                    if not self._silence_flagged.get(pubend_id):
+                        self._silence_flagged[pubend_id] = True
+                        self._emit(
+                            Finding(
+                                now,
+                                "silence_violation",
+                                broker_id,
+                                pubend_id,
+                                f"no emission (data or silence) for "
+                                f"{age:.2f}s > {limit:.2f}s",
+                                {"age": age, "limit": limit},
+                            )
+                        )
+                else:
+                    self._silence_flagged[pubend_id] = False
+        if self.obs is not None:
+            self.obs.gauge("repro_detector_silence_age_seconds").set(worst)

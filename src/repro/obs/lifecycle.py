@@ -1,0 +1,209 @@
+"""Lifecycle hook hub: the protocol's per-message event bus.
+
+The broker engine, the simulated broker host, the subend manager, and the
+fault injector report the *semantic* moments of a publication's life —
+publish, log commit, hop ingest, flush deferral, nack, retransmission,
+client write, delivery — through one :class:`LifecycleHub` owned by the
+system's :class:`~repro.obs.observability.Observability`.
+
+The hub is a dumb fan-out with no listeners by default; every call site
+guards with ``hub.listeners`` so an unobserved system pays one attribute
+load and a falsy check per event.  Listeners (the
+:class:`~repro.obs.causal.CausalTracer`, the flat tracer's flush adapter,
+:class:`~repro.obs.detectors.DetectorSet`) subclass
+:class:`LifecycleListener` and override what they care about.
+
+This module deliberately imports nothing from the broker or core packages
+so :mod:`repro.obs.observability` can own a hub without an import cycle;
+message arguments are duck-typed protocol objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["LifecycleHub", "LifecycleListener"]
+
+
+class LifecycleListener:
+    """No-op base: override the hooks you need.
+
+    Every hook's first argument ``t`` is the simulated time at which the
+    event happened; ``node`` is the physical broker id.
+    """
+
+    def published(self, t: float, node: str, pubend: str, tick: int) -> None:
+        """A client publication was appended to the pubend log."""
+
+    def committed(self, t: float, node: str, pubend: str, tick: int) -> None:
+        """The log append committed; the message is now *published*."""
+
+    def message_arrived(self, t: float, node: str, src: str, message: Any) -> None:
+        """A broker-to-broker envelope reached a host (before CPU queue)."""
+
+    def knowledge_ingested(
+        self, t: float, node: str, src: str, message: Any, relay: bool = False
+    ) -> None:
+        """The engine accumulated a knowledge message into its streams."""
+
+    def knowledge_sent(
+        self,
+        t: float,
+        node: str,
+        dst: str,
+        cell: str,
+        message: Any,
+        kind: str,
+        sideways: bool = False,
+    ) -> None:
+        """A knowledge message went on the wire.  ``kind`` is one of
+        ``first`` / ``flush`` / ``silence`` / ``retransmit`` / ``relay``."""
+
+    def flush_deferred(
+        self,
+        t: float,
+        node: str,
+        pubend: str,
+        cell: str,
+        ticks: Sequence[int],
+        armed: bool,
+        delay: float,
+    ) -> None:
+        """Batched propagation folded ticks into an ostream's pending
+        flush; ``armed`` is True when this call scheduled the timer."""
+
+    def knowledge_flushed(
+        self,
+        t: float,
+        node: str,
+        pubend: str,
+        cell: str,
+        ticks: Sequence[int],
+        sent: bool,
+    ) -> None:
+        """A flush timer fired.  ``sent`` is False when the coalesced
+        message turned out empty (the flush was effectively cancelled)."""
+
+    def subend_nack(
+        self,
+        t: float,
+        node: str,
+        pubend: str,
+        ranges: Sequence[Any],
+        attempt: int,
+    ) -> None:
+        """A local subend asked for Q ticks (first send or NRT repeat)."""
+
+    def nack_sent(
+        self, t: float, node: str, pubend: str, ranges: Sequence[Any], message: Any
+    ) -> None:
+        """This broker put a consolidated nack message on the wire."""
+
+    def nack_received(self, t: float, node: str, src: str, message: Any) -> None:
+        """A downstream nack arrived; retransmissions sent before the
+        matching :meth:`nack_done` are caused by it."""
+
+    def nack_done(self, t: float, node: str) -> None:
+        """The engine finished handling the last received nack."""
+
+    def client_write(
+        self,
+        t: float,
+        node: str,
+        subscriber: str,
+        pubend: str,
+        tick: int,
+        eta: float,
+    ) -> None:
+        """A delivery was queued on a subscriber connection; the client
+        observes it ``eta`` seconds later."""
+
+    def delivered(
+        self, t: float, node: str, subscriber: str, pubend: str, tick: int
+    ) -> None:
+        """The subscriber client observed the delivery."""
+
+    def silence_emitted(self, t: float, node: str, pubend: str, up_to: int) -> None:
+        """A hosted pubend generated an idle-silence message."""
+
+    def horizon_advanced(
+        self, t: float, node: str, pubend: str, old: int, new: int
+    ) -> None:
+        """A subend's publisher-order delivery horizon moved forward."""
+
+    def fault(self, t: float, kind: str, target: str) -> None:
+        """A fault injector applied a fault."""
+
+
+_HOOKS = (
+    "published",
+    "committed",
+    "message_arrived",
+    "knowledge_ingested",
+    "knowledge_sent",
+    "flush_deferred",
+    "knowledge_flushed",
+    "subend_nack",
+    "nack_sent",
+    "nack_received",
+    "nack_done",
+    "client_write",
+    "delivered",
+    "silence_emitted",
+    "horizon_advanced",
+    "fault",
+)
+
+
+def _make_fanout(methods: Sequence[Any]):
+    def fanout(*args: Any, **kwargs: Any) -> None:
+        for method in methods:
+            method(*args, **kwargs)
+
+    return fanout
+
+
+class LifecycleHub(LifecycleListener):
+    """Fan-out of lifecycle events to attached listeners.
+
+    Call sites guard with ``if hub.listeners:`` so the unobserved hot
+    path costs nothing but the check.  Per hook, the hub binds an
+    *instance* attribute shadowing the inherited no-op: the listener's
+    bound method directly when exactly one listener overrides the hook
+    (no dispatch frame at all — the common case is a single
+    :class:`~repro.obs.causal.CausalTracer`), a fan-out closure when
+    several do, and the inherited no-op when none does.
+    """
+
+    def __init__(self) -> None:
+        self.listeners: List[LifecycleListener] = []
+
+    @property
+    def active(self) -> bool:
+        return bool(self.listeners)
+
+    def attach(self, listener: LifecycleListener) -> LifecycleListener:
+        if listener not in self.listeners:
+            self.listeners.append(listener)
+            self._rebuild()
+        return listener
+
+    def detach(self, listener: LifecycleListener) -> None:
+        if listener in self.listeners:
+            self.listeners.remove(listener)
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        for name in _HOOKS:
+            base = getattr(LifecycleListener, name)
+            methods = [
+                getattr(listener, name)
+                for listener in self.listeners
+                if getattr(type(listener), name, base) is not base
+            ]
+            if len(methods) == 1:
+                setattr(self, name, methods[0])
+            elif methods:
+                setattr(self, name, _make_fanout(methods))
+            elif name in self.__dict__:
+                delattr(self, name)  # fall back to the inherited no-op

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from . import exporters
 from .hub import MetricsHub
+from .lifecycle import LifecycleHub
 from .instruments import (
     DEFAULT_BUCKETS,
     Counter,
@@ -49,6 +50,17 @@ class Observability:
         #: Structured fault events pushed by
         #: :class:`~repro.faults.injector.FaultInjector` (application order).
         self.fault_events: List[Any] = []
+        #: Per-message lifecycle event bus.  Brokers, subends, and the
+        #: fault injector publish semantic protocol moments here; causal
+        #: tracers and anomaly detectors subscribe.  No listeners by
+        #: default, so the unobserved hot path costs one truthiness check.
+        self.lifecycle = LifecycleHub()
+        #: The system's :class:`~repro.obs.causal.CausalTracer`, when one
+        #: is installed (set by the tracer itself).
+        self.causal: Optional[Any] = None
+        #: Structured anomaly findings pushed by
+        #: :class:`~repro.obs.detectors.DetectorSet` (detection order).
+        self.findings: List[Any] = []
 
     # -- facade over the instrument registry ----------------------------
 
@@ -108,6 +120,22 @@ class Observability:
             kind=getattr(event, "kind", "unknown"),
         ).inc()
 
+    def record_finding(self, finding: Any) -> None:
+        """Adopt one structured anomaly finding (see
+        :class:`~repro.obs.detectors.Finding`).
+
+        Counts into ``repro_detector_findings_total`` labelled by
+        detector, and keeps the structured record in :attr:`findings`
+        so scripted analysis (and the fuzzer's failure dumps) can read
+        what the online detectors saw.
+        """
+        self.findings.append(finding)
+        self.counter(
+            "repro_detector_findings_total",
+            "Anomaly findings raised by online detectors, by detector.",
+            detector=getattr(finding, "detector", "unknown"),
+        ).inc()
+
     # -- derived metrics -------------------------------------------------
 
     def _sync_derived(self) -> None:
@@ -128,6 +156,15 @@ class Observability:
                 "repro_trace_events",
                 "Events recorded by tracers attached to this system",
             ).set(float(sum(len(t) for t in self.tracers)))
+        if self.causal is not None:
+            self.gauge(
+                "repro_causal_spans",
+                "Lifecycle spans recorded by the causal tracer",
+            ).set(float(len(self.causal.spans)))
+            self.gauge(
+                "repro_causal_open_spans",
+                "Causal spans still open (in-flight protocol work)",
+            ).set(float(self.causal.open_span_count()))
         hub = self.hub
         self.gauge(
             "repro_client_deliveries",

@@ -31,26 +31,43 @@ from ..core.messages import (
     KnowledgeMessage,
     NackMessage,
 )
+from .lifecycle import LifecycleListener
 
 __all__ = ["TraceEvent", "Tracer"]
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded event."""
+    """One recorded event.
+
+    ``seq`` is a per-tracer monotonic sequence number: events recorded at
+    the same simulated instant sort (and render) in recording order, so
+    same-seed trace diffs are byte-stable even where timestamps tie.
+    """
 
     t: float
     kind: str
     node: str
     detail: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.t, self.seq)
 
     def render(self) -> str:
         parts = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
-        return f"{self.t:10.4f}  {self.kind:<12} {self.node:<6} {parts}"
+        return f"{self.t:10.4f} #{self.seq:<6d} {self.kind:<12} {self.node:<6} {parts}"
 
     def to_json(self) -> str:
         return json.dumps(
-            {"t": self.t, "kind": self.kind, "node": self.node, **self.detail}
+            {
+                "t": self.t,
+                "seq": self.seq,
+                "kind": self.kind,
+                "node": self.node,
+                **self.detail,
+            }
         )
 
 
@@ -85,6 +102,21 @@ def _describe_message(message: Any) -> Dict[str, Any]:
     return {"msg": type(message).__name__}
 
 
+class _FlushListener(LifecycleListener):
+    """Surfaces the batching machinery's flush decisions as flat trace
+    events — ``knowledge_flush`` when a timer's coalesced message went
+    out, ``flush_timer_cancelled`` when it fired with nothing to send."""
+
+    def __init__(self, tracer: "Tracer"):
+        self.tracer = tracer
+
+    def knowledge_flushed(self, t, node, pubend, cell, ticks, sent):
+        kind = "knowledge_flush" if sent else "flush_timer_cancelled"
+        self.tracer._record(
+            kind, node, {"pubend": pubend, "cell": cell, "ticks": len(ticks)}
+        )
+
+
 class Tracer:
     """Records a structured event stream from a simulated system."""
 
@@ -93,10 +125,11 @@ class Tracer:
         self.capture_link_status = capture_link_status
         self.events: List[TraceEvent] = []
         self._installed = False
+        self._seq = 0
         self._original_sends: Dict[str, Callable] = {}
-        owner = obs if obs is not None else getattr(system, "obs", None)
-        if owner is not None:
-            owner.attach_tracer(self)
+        self._obs = obs if obs is not None else getattr(system, "obs", None)
+        if self._obs is not None:
+            self._obs.attach_tracer(self)
 
     # -- hook installation ------------------------------------------------
 
@@ -107,6 +140,8 @@ class Tracer:
         self._installed = True
         for broker_id, broker in self.system.brokers.items():
             self._wrap_broker(broker)
+        if self._obs is not None:
+            self._obs.lifecycle.attach(_FlushListener(self))
         return self
 
     def _wrap_broker(self, broker) -> None:
@@ -158,8 +193,9 @@ class Tracer:
 
     def _record(self, kind: str, node: str, detail: Dict[str, Any]) -> None:
         self.events.append(
-            TraceEvent(self.system.scheduler.now, kind, node, detail)
+            TraceEvent(self.system.scheduler.now, kind, node, detail, self._seq)
         )
+        self._seq += 1
 
     # -- queries ------------------------------------------------------------
 
@@ -187,12 +223,16 @@ class Tracer:
             out.append(event)
         return out
 
+    def events_sorted(self) -> List[TraceEvent]:
+        """Events by ``(t, seq)`` — total order, byte-stable per seed."""
+        return sorted(self.events, key=lambda e: e.sort_key)
+
     def render(self, events: Optional[Iterable[TraceEvent]] = None) -> str:
-        chosen = list(events) if events is not None else self.events
+        chosen = list(events) if events is not None else self.events_sorted()
         return "\n".join(event.render() for event in chosen)
 
     def write_jsonl(self, out: TextIO) -> int:
-        for event in self.events:
+        for event in self.events_sorted():
             out.write(event.to_json() + "\n")
         return len(self.events)
 

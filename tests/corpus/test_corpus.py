@@ -34,3 +34,34 @@ def test_replay(path):
         f"{os.path.basename(path)}: expected {expect}, got {verdict}: "
         f"{result.failures[:3]}"
     )
+
+
+@pytest.mark.parametrize(
+    "path", REPRO_FILES, ids=[os.path.basename(p) for p in REPRO_FILES]
+)
+def test_replay_causal_timeline_matches_golden(path):
+    """A failing repro's causal timeline is a byte-stable artifact.
+
+    ``tests/corpus/golden/<stem>.timeline.txt`` pins the span timeline of
+    the violating ``(pubend, tick)``; pass entries must produce none.
+    The causal tracer is pure observation, so the digest stays identical
+    to the plain replay either way.
+    """
+    scenario, expect = load_repro(path)
+    plain = run_scenario(scenario)
+    result = run_scenario(scenario, causal=True)
+    assert result.digest == plain.digest, "causal tracing changed the run"
+    stem = os.path.basename(path)[: -len(".json")]
+    golden = os.path.join(CORPUS_DIR, "golden", f"{stem}.timeline.txt")
+    if expect == "pass":
+        assert not result.causal_timeline
+        assert not os.path.exists(golden)
+        return
+    assert result.subjects, "failing repro should name a (pubend, tick)"
+    assert result.causal_timeline
+    with open(golden) as handle:
+        assert result.causal_timeline == handle.read(), (
+            f"causal timeline of {stem} diverged from {golden}; if the "
+            f"change is intended, regenerate via "
+            f"run_scenario(scenario, causal=True).causal_timeline"
+        )

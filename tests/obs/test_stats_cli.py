@@ -58,6 +58,33 @@ class TestStatsCommand:
         want = structure(parse_prometheus(GOLDEN.read_text()))
         assert got == want
 
+    def test_exports_causal_and_detector_gauges(self, capsys):
+        """`repro stats` runs under the causal tracer and the online
+        anomaly detectors, so the snapshot carries their families."""
+        text = stats_output(capsys)
+        families = parse_prometheus(text)
+        spans = [v for _, _, v in families["repro_causal_spans"]["samples"]]
+        assert spans and spans[0] > 0
+        open_spans = [
+            v for _, _, v in families["repro_causal_open_spans"]["samples"]
+        ]
+        assert open_spans and 0 <= open_spans[0] <= spans[0]
+        assert families["repro_detector_findings_total"]["type"] == "counter"
+        finding_labels = {
+            labels.get("detector")
+            for _, labels, _ in families["repro_detector_findings_total"]["samples"]
+        }
+        assert {
+            "horizon_stall", "retransmission_storm", "silence_violation"
+        } <= finding_labels
+        for gauge in (
+            "repro_detector_horizon_stall_seconds",
+            "repro_detector_retransmission_rate",
+            "repro_detector_silence_age_seconds",
+        ):
+            assert families[gauge]["type"] == "gauge", gauge
+            assert families[gauge]["samples"], gauge
+
     def test_json_format(self, capsys):
         assert main(
             ["stats", "--topology", "two_broker", "--duration", "1",

@@ -102,3 +102,60 @@ class TestQueries:
         system, tracer, __p = traced_run()
         tracer.record_fault("link phb-shb failed")
         assert tracer.filter(kind="fault")
+
+
+class TestSequenceNumbers:
+    def test_seq_is_monotonic_and_orders_simultaneous_events(self):
+        __, tracer, __p = traced_run(drop=0.1, seed=4)
+        events = tracer.filter()
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        # (t, seq) is a total order even when timestamps collide.
+        keys = [e.sort_key for e in sorted(events, key=lambda e: e.sort_key)]
+        assert keys == sorted(keys)
+        assert any(
+            a.t == b.t and a.seq < b.seq for a, b in zip(events, events[1:])
+        )
+
+
+class TestFlushEvents:
+    def flushed_run(self, drop=0.0, seed=9):
+        from repro.core.config import LivenessParams
+
+        topo = two_broker_topology()
+        topo.pubend("P0", "phb")
+        topo.route("P0", "PHB", "SHB")
+        params = LivenessParams(gct=0.1, nrt_min=0.3, flush_delay=0.05)
+        system = topo.build(seed=seed, params=params, log_commit_latency=0.01)
+        if drop:
+            system.network.link("phb", "shb").drop_probability = drop
+        tracer = Tracer(system).install()
+        system.subscribe("a", "shb", ("P0",))
+        pub = system.publisher("P0", rate=50.0)
+        pub.start(at=0.1)
+        system.run_until(1.0)
+        pub.stop()
+        system.run_until(4.0)
+        return system, tracer
+
+    def test_batched_run_traces_knowledge_flushes(self):
+        __, tracer = self.flushed_run()
+        counts = tracer.counts()
+        assert counts.get("knowledge_flush", 0) > 0
+        flush = tracer.filter(kind="knowledge_flush")[0]
+        assert flush.detail.get("pubend") == "P0"
+        assert flush.detail.get("ticks", 0) > 0
+
+    def test_cancelled_timer_maps_to_its_own_kind(self):
+        # An empty coalesced flush (ticks finalized meanwhile) reports
+        # sent=False through the hub; the flat tracer gives it a
+        # distinct event kind.
+        system, tracer = self.flushed_run()
+        before = len(tracer)
+        system.obs.lifecycle.knowledge_flushed(
+            system.scheduler.now, "phb", "P0", "SHB", (), False
+        )
+        assert len(tracer) == before + 1
+        cancelled = tracer.filter(kind="flush_timer_cancelled")
+        assert cancelled and cancelled[-1].node == "phb"

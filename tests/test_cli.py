@@ -60,10 +60,13 @@ class TestBenchCommand:
             "knowledge_publish_pattern",
             "matching_engine",
             "chain_batching",
+            "trace_overhead",
         }
         # The acceptance floors this PR is gated on.
         assert report["derived"]["batching_reduction"] >= 2.0
         assert report["derived"]["interval_fast_speedup"] >= 1.0
+        assert "trace_overhead" in report["derived"]
+        assert report["counters"]["trace_causal_spans"] > 0
 
         baseline = json.loads(baseline_path.read_text())
         assert baseline["counters"] == report["counters"]
