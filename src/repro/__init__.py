@@ -36,6 +36,7 @@ from .check import (
 )
 from .client import DeliveryChecker, PublisherClient, SubscriberClient
 from .core.config import INFINITY, PAPER_FAULT_PARAMS, LivenessParams
+from .facade import SystemFacade
 from .core.edges import FilterEdge, MergeView, MATCH_ALL
 from .core.lattice import C, K
 from .core.messages import (
@@ -110,6 +111,7 @@ __all__ = [
     "SubscriberClient",
     "Subscription",
     "System",
+    "SystemFacade",
     "Tick",
     "TickRange",
     "Topology",

@@ -1,4 +1,20 @@
 """Asyncio runtime: the same broker engine over real-time transports."""
 
+from .chaos import ChaosAction, ChaosReport, chaos, chaos_schedule, run_chaos
 from .runtime import AioBroker, AioPublisher, AioSystem
 from .transport import LocalTransport, TcpTransport, decode_frame, encode_frame
+
+__all__ = [
+    "AioBroker",
+    "AioPublisher",
+    "AioSystem",
+    "ChaosAction",
+    "ChaosReport",
+    "LocalTransport",
+    "TcpTransport",
+    "chaos",
+    "chaos_schedule",
+    "decode_frame",
+    "encode_frame",
+    "run_chaos",
+]

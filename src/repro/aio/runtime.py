@@ -5,16 +5,27 @@ simulator on an asyncio event loop, with wall-clock liveness timers and a
 pluggable transport (:class:`~repro.aio.transport.LocalTransport` or
 :class:`~repro.aio.transport.TcpTransport`).
 
+The runtime is a production-grade second backend for the protocol, not
+just a demo: pubends persist to :class:`~repro.storage.log.FileLog` when
+the system is given a ``data_dir`` (a crashed broker reopens and replays
+its logs on restart, recovering assigned ticks and its doubt horizon),
+broker inboxes are bounded with a configurable slow-consumer policy,
+scheduled protocol timers are tracked and cancelled on crash/shutdown,
+and the :class:`~repro.obs.lifecycle.LifecycleHub`/Instruments pipeline
+observes the real-time path exactly as it does the simulator.
+
 Throughput numbers from this runtime are *not* the evaluation substrate
 (the repro band notes asyncio throughput is less faithful than the
-simulator); the runtime exists so the library is actually usable as a
-message broker, and to demonstrate the engine is runtime-agnostic.
+simulator); use ``python -m repro bench`` for the gated counters and the
+simulator for the paper's figures.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import os
+import warnings
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..broker.engine import BrokerServices, GDBrokerEngine
 from ..broker.state import BrokerTopologyInfo
@@ -22,15 +33,19 @@ from ..client import SubscriberClient
 from ..core.config import LivenessParams
 from ..core.subend import Subscription
 from ..core.ticks import Tick
+from ..facade import resolve_predicate
 from ..matching.events import Event
-from ..matching.parser import parse
 from ..obs.hub import MetricsHub
 from ..obs.observability import Observability
-from ..storage.log import MemoryLog, MessageLog
+from ..storage.log import FileLog, MemoryLog, MessageLog
 from ..topology import Topology, TopologyPlan
 from .transport import LocalTransport
 
 __all__ = ["AioBroker", "AioSystem", "AioPublisher"]
+
+#: How many cancelled timer handles may accumulate before the tracking
+#: set is pruned (mirrors the sim scheduler's cancelled-timer fix).
+_PRUNE_THRESHOLD = 256
 
 
 class _AioServices(BrokerServices):
@@ -41,13 +56,20 @@ class _AioServices(BrokerServices):
         return asyncio.get_running_loop().time()
 
     def schedule(self, delay: float, fn: Callable[[], None]):
-        epoch = self.broker.epoch
+        broker = self.broker
+        epoch = broker.epoch
+        box: List[asyncio.TimerHandle] = []
 
         def fire() -> None:
-            if self.broker.alive and self.broker.epoch == epoch:
+            if box:
+                broker._pending_timers.discard(box[0])
+            if broker.alive and broker.epoch == epoch:
                 fn()
 
-        return asyncio.get_running_loop().call_later(delay, fire)
+        handle = asyncio.get_running_loop().call_later(delay, fire)
+        box.append(handle)
+        broker._track(handle)
+        return handle
 
     def send(self, dst: str, message: Any, size: int = 100) -> bool:
         if not self.broker.alive:
@@ -62,7 +84,20 @@ class _AioServices(BrokerServices):
 
 
 class AioBroker:
-    """One broker process on the event loop."""
+    """One broker process on the event loop.
+
+    ``inbox_limit`` bounds the broker's receive queue; ``slow_consumer``
+    picks what happens when it fills:
+
+    * ``"backpressure"`` (default) — async senders (the TCP reader) wait
+      for space, which suspends the socket reader and lets TCP flow
+      control push back on the remote broker; in-process senders fall
+      back to inline processing (bounded memory, nothing dropped).
+    * ``"shed"`` — the newest arrival is discarded and counted in the
+      ``aio_inbox_shed`` instrument.  Never silent: guaranteed traffic
+      shed here is recovered by the protocol's curiosity/retransmission
+      machinery, but the counter makes the pressure visible.
+    """
 
     def __init__(
         self,
@@ -72,7 +107,14 @@ class AioBroker:
         transport,
         metrics: Optional[MetricsHub] = None,
         obs: Optional[Observability] = None,
+        inbox_limit: int = 1024,
+        slow_consumer: str = "backpressure",
     ):
+        if slow_consumer not in ("backpressure", "shed"):
+            raise ValueError(
+                f"slow_consumer must be 'backpressure' or 'shed', "
+                f"got {slow_consumer!r}"
+            )
         self.broker_id = broker_id
         self.info = info
         self.params = params
@@ -83,33 +125,75 @@ class AioBroker:
         self.metrics = metrics if metrics is not None else obs.hub
         self.alive = True
         self.epoch = 0
+        self.inbox_limit = inbox_limit
+        self.slow_consumer = slow_consumer
         self.services = _AioServices(self)
+        # The engine shares the system-wide lifecycle hub so tracers and
+        # detectors attached to system.obs observe the real-time path
+        # exactly as they do the simulator.
         self.engine = GDBrokerEngine(
-            info, params, self.services, instruments=self.obs.instruments
+            info,
+            params,
+            self.services,
+            instruments=self.obs.instruments,
+            lifecycle=self.obs.lifecycle,
         )
-        self._hostings: List[Tuple[str, MessageLog, int, int, Optional[float]]] = []
+        #: Pubend hostings as *log factories*: a MemoryLog factory hands
+        #: back the same object (the simulator's kept-alive-disk model),
+        #: a FileLog factory reopens the file from disk — so restart()
+        #: exercises real replay-based recovery.
+        self._hostings: List[
+            Tuple[str, Callable[[], MessageLog], int, int, Optional[float]]
+        ] = []
+        self._logs: Dict[str, MessageLog] = {}
         self._clients: Dict[str, SubscriberClient] = {}
-        self._log_delay_tasks: int = 0
+        self._pending_timers: Set[asyncio.TimerHandle] = set()
+        self._inbox: Optional["asyncio.Queue[Tuple[str, Any]]"] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        #: First exception raised while processing the inbox (e.g. a
+        #: client's DuplicateDelivery) — surfaced by shutdown()/chaos.
+        self.failure: Optional[BaseException] = None
+        self.shed_count = 0
+        self.restarts = 0
 
     # -- configuration ---------------------------------------------------
 
     def host_pubend(
         self,
         pubend_id: str,
-        log: MessageLog,
+        log: Optional[MessageLog] = None,
         slot: int = 0,
         n_slots: int = 1,
         preassign_window: Optional[float] = None,
-    ) -> None:
-        from ..core.pubend import Pubend
-
+        log_factory: Optional[Callable[[], MessageLog]] = None,
+    ) -> MessageLog:
         window = (
             preassign_window
             if preassign_window is not None
             else self.params.preassign_window
         )
-        self._hostings.append((pubend_id, log, slot, n_slots, window))
-        pubend = Pubend(
+        if log_factory is None:
+            if log is None:
+                log = MemoryLog()
+            if isinstance(log, FileLog):
+                # Crash realism: the handle dies with the broker, the
+                # file survives; restart reopens and replays it.
+                path, latency = log.path, log.commit_latency
+                log_factory = lambda: FileLog(path, commit_latency=latency)  # noqa: E731
+            else:
+                kept = log
+                log_factory = lambda: kept  # noqa: E731
+        elif log is None:
+            log = log_factory()
+        self._hostings.append((pubend_id, log_factory, slot, n_slots, window))
+        self._logs[pubend_id] = log
+        self.engine.host_pubend(self._make_pubend(pubend_id, log, slot, n_slots, window))
+        return log
+
+    def _make_pubend(self, pubend_id, log, slot, n_slots, window):
+        from ..core.pubend import Pubend
+
+        return Pubend(
             pubend_id,
             log,
             slot=slot,
@@ -117,8 +201,8 @@ class AioBroker:
             aet=self.params.aet,
             silence_interval=self.params.silence_interval,
             preassign_window=window,
+            instruments=self.obs.instruments,
         )
-        self.engine.host_pubend(pubend)
 
     def add_subscription(
         self, subscription: Subscription, client: Optional[SubscriberClient] = None
@@ -128,10 +212,27 @@ class AioBroker:
         self.engine.add_subscription(subscription)
 
     def start(self) -> None:
-        """Register with the transport and arm protocol timers."""
+        """Register with the transport, spin up the inbox drain task,
+        and arm protocol timers."""
         if hasattr(self.transport, "register"):
             self.transport.register(self.broker_id, self.on_receive)
+        self._inbox = asyncio.Queue(maxsize=self.inbox_limit)
+        self._drain_task = asyncio.get_running_loop().create_task(self._drain())
         self.engine.start()
+
+    # -- timer tracking ----------------------------------------------------
+
+    def _track(self, handle: asyncio.TimerHandle) -> None:
+        self._pending_timers.add(handle)
+        if len(self._pending_timers) > _PRUNE_THRESHOLD:
+            self._pending_timers = {
+                h for h in self._pending_timers if not h.cancelled()
+            }
+
+    def _cancel_timers(self) -> None:
+        for handle in self._pending_timers:
+            handle.cancel()
+        self._pending_timers.clear()
 
     # -- data path ---------------------------------------------------------
 
@@ -141,51 +242,155 @@ class AioBroker:
         return self.engine.publish(pubend_id, payload)
 
     def on_receive(self, src: str, message: Any) -> None:
-        if self.alive:
+        """Synchronous receive (LocalTransport): enqueue, applying the
+        slow-consumer policy when the inbox is full."""
+        if not self.alive or self._inbox is None:
+            return
+        try:
+            self._inbox.put_nowait((src, message))
+        except asyncio.QueueFull:
+            if self.slow_consumer == "shed":
+                self.shed_count += 1
+                self.obs.instruments.counter(
+                    "aio_inbox_shed",
+                    "messages discarded by a full broker inbox",
+                    broker=self.broker_id,
+                ).inc()
+            else:
+                # In-process senders have no socket to push back on;
+                # process inline so nothing is dropped and memory stays
+                # bounded by the queue.
+                self._process(src, message)
+
+    async def on_receive_async(self, src: str, message: Any) -> None:
+        """Awaitable receive (TcpTransport): a full inbox suspends the
+        caller — the socket reader — so TCP flow control backpressures
+        the remote broker."""
+        if not self.alive or self._inbox is None:
+            return
+        if self.slow_consumer == "shed":
+            self.on_receive(src, message)
+            return
+        await self._inbox.put((src, message))
+
+    async def _drain(self) -> None:
+        inbox = self._inbox
+        assert inbox is not None
+        try:
+            while True:
+                src, message = await inbox.get()
+                try:
+                    self._process(src, message)
+                finally:
+                    inbox.task_done()
+        except asyncio.CancelledError:
+            pass
+
+    def _process(self, src: str, message: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            hub = self.obs.lifecycle
+            if hub.listeners:
+                hub.message_arrived(
+                    asyncio.get_running_loop().time(), self.broker_id, src, message
+                )
             self.engine.on_message(src, message)
+        except Exception as exc:  # surfaced by shutdown()/the chaos harness
+            if self.failure is None:
+                self.failure = exc
+            raise
 
     def deliver(self, subscriber: str, pubend: str, tick: Tick, payload: Any) -> None:
+        now = asyncio.get_running_loop().time()
+        hub = self.obs.lifecycle
+        if hub.listeners:
+            hub.delivered(now, self.broker_id, subscriber, pubend, tick)
         client = self._clients.get(subscriber)
         if client is not None:
-            client.on_delivery(
-                pubend, tick, payload, asyncio.get_running_loop().time()
-            )
+            client.on_delivery(pubend, tick, payload, now)
 
     # -- lifecycle -----------------------------------------------------------
 
     def crash(self) -> None:
-        """Kill the broker: soft state gone, logs survive."""
+        """Kill the broker: soft state gone, timers cancelled, log file
+        handles closed (the files survive on disk)."""
         if not self.alive:
             return
         self.alive = False
         self.epoch += 1
+        self._cancel_timers()
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            self._drain_task = None
+        self._inbox = None
         if hasattr(self.transport, "unregister"):
             self.transport.unregister(self.broker_id)
+        for log in self._logs.values():
+            log.close()
+        self._logs.clear()
+        hub = self.obs.lifecycle
+        if hub.listeners:
+            try:
+                hub.fault(
+                    asyncio.get_running_loop().time(), "crash", self.broker_id
+                )
+            except RuntimeError:
+                pass  # no running loop (teardown outside the loop)
         self.engine = None  # type: ignore[assignment]
 
     def restart(self) -> None:
-        from ..core.pubend import Pubend
-
+        """Recover from stable storage: each hosted pubend's log is
+        reopened via its factory and replayed, so assigned ticks and the
+        doubt horizon are re-advertised (paper §2: stable storage only at
+        the PHB)."""
         if self.alive:
             return
         self.alive = True
         self.epoch += 1
+        self.restarts += 1
         self.engine = GDBrokerEngine(
-            self.info, self.params, self.services, instruments=self.obs.instruments
+            self.info,
+            self.params,
+            self.services,
+            instruments=self.obs.instruments,
+            lifecycle=self.obs.lifecycle,
         )
-        for pubend_id, log, slot, n_slots, window in self._hostings:
-            pubend = Pubend(
-                pubend_id,
-                log,
-                slot=slot,
-                n_slots=n_slots,
-                aet=self.params.aet,
-                silence_interval=self.params.silence_interval,
-                preassign_window=window,
-            )
+        for pubend_id, log_factory, slot, n_slots, window in self._hostings:
+            log = log_factory()
+            self._logs[pubend_id] = log
+            pubend = self._make_pubend(pubend_id, log, slot, n_slots, window)
             pubend.recover()
             self.engine.host_pubend(pubend)
+        hub = self.obs.lifecycle
+        if hub.listeners:
+            hub.fault(
+                asyncio.get_running_loop().time(), "restart", self.broker_id
+            )
         self.start()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: drain the inbox, cancel timers, close logs."""
+        if not self.alive:
+            return
+        if self._inbox is not None and self._drain_task is not None:
+            if not self._drain_task.done():
+                await self._inbox.join()
+        self.alive = False
+        self.epoch += 1
+        self._cancel_timers()
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._drain_task = None
+        self._inbox = None
+        if hasattr(self.transport, "unregister"):
+            self.transport.unregister(self.broker_id)
+        for log in self._logs.values():
+            log.close()
 
 
 class AioPublisher:
@@ -243,7 +448,15 @@ class AioPublisher:
 
 
 class AioSystem:
-    """A whole deployment on one event loop, built from a Topology."""
+    """A whole deployment on one event loop, built from a Topology.
+
+    Exposes the same public facade as the simulator's
+    :class:`~repro.topology.System` (see :class:`~repro.facade.SystemFacade`):
+    ``subscribe``/``publisher``/``host_pubend``/``obs``, with ``run_for``
+    returning elapsed time.  ``data_dir`` turns on durability: every
+    pubend gets a :class:`~repro.storage.log.FileLog` under that
+    directory, and a crashed broker replays it on restart.
+    """
 
     def __init__(
         self,
@@ -252,6 +465,10 @@ class AioSystem:
         transport=None,
         log_commit_latency: float = 0.0,
         log_factory: Optional[Callable[[str], MessageLog]] = None,
+        *,
+        data_dir: Optional[str] = None,
+        inbox_limit: int = 1024,
+        slow_consumer: str = "backpressure",
     ):
         self.params = params if params is not None else LivenessParams()
         self.transport = transport if transport is not None else LocalTransport()
@@ -264,6 +481,11 @@ class AioSystem:
         self.subscribers: Dict[str, SubscriberClient] = {}
         self.subscriptions: Dict[str, Subscription] = {}
         self._log_commit_latency = log_commit_latency
+        self._data_dir = data_dir
+        if data_dir is not None:
+            os.makedirs(data_dir, exist_ok=True)
+            if log_factory is None:
+                log_factory = self._file_log
         self._log_factory = log_factory
         for broker_id, info in self.plan.infos.items():
             self.brokers[broker_id] = AioBroker(
@@ -273,25 +495,62 @@ class AioSystem:
                 self.transport,
                 metrics=self.metrics,
                 obs=self.obs,
+                inbox_limit=inbox_limit,
+                slow_consumer=slow_consumer,
             )
         for pubend_id, host_broker, slot, n_slots, preassign in self.plan.pubends:
-            if self._log_factory is not None:
-                log = self._log_factory(pubend_id)
-            else:
-                log = MemoryLog(commit_latency=self._log_commit_latency)
-            self.brokers[host_broker].host_pubend(
-                pubend_id, log, slot=slot, n_slots=n_slots,
+            self.host_pubend(
+                pubend_id,
+                host_broker,
+                slot=slot,
+                n_slots=n_slots,
                 preassign_window=preassign,
             )
-            self.pubend_hosts[pubend_id] = host_broker
+
+    def _file_log(self, pubend_id: str) -> FileLog:
+        """Default durable log: one JSON-lines file per pubend under
+        ``data_dir`` (see docs/DEPLOYMENT.md for the layout)."""
+        path = os.path.join(self._data_dir, f"{pubend_id}.log")
+        return FileLog(path, commit_latency=self._log_commit_latency)
 
     async def start(self) -> None:
         """Bring every broker online (TCP transports start listening)."""
         if hasattr(self.transport, "start_broker"):
             for broker_id, broker in self.brokers.items():
-                await self.transport.start_broker(broker_id, broker.on_receive)
+                await self.transport.start_broker(
+                    broker_id, broker.on_receive_async
+                )
         for broker in self.brokers.values():
             broker.start()
+
+    # -- facade ----------------------------------------------------------
+
+    def host_pubend(
+        self,
+        pubend_id: str,
+        broker_id: str,
+        log: Optional[MessageLog] = None,
+        *,
+        slot: int = 0,
+        n_slots: int = 1,
+        preassign_window: Optional[float] = None,
+    ) -> MessageLog:
+        """Place a pubend on its hosting broker.  Without an explicit
+        ``log``, uses the system's log factory (a ``FileLog`` when
+        ``data_dir`` is set, else a ``MemoryLog``)."""
+        if log is None and self._log_factory is not None:
+            log = self._log_factory(pubend_id)
+        elif log is None:
+            log = MemoryLog(commit_latency=self._log_commit_latency)
+        self.brokers[broker_id].host_pubend(
+            pubend_id,
+            log,
+            slot=slot,
+            n_slots=n_slots,
+            preassign_window=preassign_window,
+        )
+        self.pubend_hosts[pubend_id] = broker_id
+        return log
 
     def subscribe(
         self,
@@ -299,14 +558,30 @@ class AioSystem:
         broker_id: str,
         pubends: Tuple[str, ...],
         predicate: Any = None,
+        *legacy: Any,
         total_order: bool = False,
     ) -> SubscriberClient:
-        from ..core.edges import MATCH_ALL
+        """Attach a subscriber client at an SHB.
 
-        if isinstance(predicate, str):
-            predicate = parse(predicate)
-        elif predicate is None:
-            predicate = MATCH_ALL
+        ``predicate`` may be a subscription string (parsed), an AST
+        :class:`~repro.matching.ast.Predicate`, a plain callable, or
+        ``None`` (match everything).  ``total_order`` is keyword-only;
+        passing it positionally still works but warns.
+        """
+        if legacy:
+            warnings.warn(
+                "passing total_order positionally to AioSystem.subscribe is "
+                "deprecated; use total_order=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(legacy) > 1:
+                raise TypeError(
+                    f"subscribe() takes at most 5 positional arguments "
+                    f"({5 + len(legacy)} given)"
+                )
+            total_order = legacy[0]
+        predicate = resolve_predicate(predicate)
         client = SubscriberClient(
             subscriber_id, metrics=self.metrics, check_total_order=total_order
         )
@@ -332,11 +607,46 @@ class AioSystem:
         self.publishers.append(publisher)
         return publisher
 
-    async def run_for(self, duration: float) -> None:
+    async def run_for(self, duration: float) -> float:
+        """Let the system run; returns elapsed wall-clock time (the
+        real-time analogue of the simulator's returned sim time)."""
+        loop = asyncio.get_running_loop()
+        start = loop.time()
         await asyncio.sleep(duration)
+        return loop.time() - start
+
+    # -- fault injection ---------------------------------------------------
+
+    async def kill_broker(self, broker_id: str) -> None:
+        """Crash a broker: its listening socket closes, connections drop,
+        soft state and log handles are gone; log *files* survive."""
+        self.brokers[broker_id].crash()
+        if hasattr(self.transport, "stop_broker"):
+            await self.transport.stop_broker(broker_id)
+
+    async def restart_broker(self, broker_id: str) -> None:
+        """Restart a crashed broker: a new listening socket (new port —
+        peers re-resolve it through their connection supervisors), then
+        log replay and doubt-horizon re-advertisement."""
+        broker = self.brokers[broker_id]
+        if hasattr(self.transport, "start_broker"):
+            await self.transport.start_broker(broker_id, broker.on_receive_async)
+        broker.restart()
+
+    def sever_link(self, a: str, b: str) -> None:
+        self.transport.fail_link(a, b)
+
+    def heal_link(self, a: str, b: str) -> None:
+        self.transport.recover_link(a, b)
+
+    # -- teardown ----------------------------------------------------------
 
     async def shutdown(self) -> None:
+        """Graceful stop: publishers first, then brokers (each drains its
+        inbox, cancels timers, closes its logs), then the transport."""
         for publisher in self.publishers:
             await publisher.stop()
+        for broker in self.brokers.values():
+            await broker.shutdown()
         if hasattr(self.transport, "close"):
             await self.transport.close()

@@ -9,13 +9,19 @@ provides two asyncio transports so the same protocol runs in real time:
   optional i.i.d. drops.  Useful for real-time integration tests and
   demos without sockets.
 * :class:`TcpTransport` — real TCP on localhost: each broker listens on
-  its own port and connects lazily to its neighbours; messages travel as
-  JSON lines through the wire codec (:mod:`repro.core.messages` and the
+  its own port; outgoing connections are *supervised* — established
+  lazily, kept alive by heartbeats, and re-established with exponential
+  backoff plus jitter after any failure.  Messages travel as JSON lines
+  through the wire codec (:mod:`repro.core.messages` and the
   envelope/link-status codecs).
 
 Both expose the same small interface: ``send(src, dst, message) -> bool``
-plus a per-broker receive callback, and both report link usability the
-way the paper's brokers learn it (the local connection state).
+plus a per-broker receive callback, ``link_usable(a, b)``, and
+``fail_link``/``recover_link`` so fault injection is transport-agnostic.
+``link_usable`` reports *local* knowledge of link health the way the
+paper's brokers learn it: for TCP that is the supervised connection state
+(established and heartbeat-fresh), which is what drives the engine's
+path selection and sideways routing during real outages.
 """
 
 from __future__ import annotations
@@ -23,14 +29,16 @@ from __future__ import annotations
 import asyncio
 import json
 import random
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 
 from ..broker.state import Envelope, LinkStatusMessage
 
 __all__ = ["LocalTransport", "TcpTransport", "encode_frame", "decode_frame"]
 
-#: Receive callback: (src_broker, message) -> None
-ReceiveFn = Callable[[str, Any], None]
+#: Receive callback: (src_broker, message) -> None, or an ``async def``
+#: with the same signature (awaited by TcpTransport — backpressure).
+ReceiveFn = Callable[[str, Any], Any]
 
 
 def encode_frame(message: Any) -> bytes:
@@ -104,25 +112,125 @@ class LocalTransport:
             loop.call_soon(deliver)
         return True
 
+    async def close(self) -> None:
+        self._receivers.clear()
+
+
+class _Connection:
+    """Supervised outgoing connection state for one (src, dst) pair."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "outbox",
+        "wakeup",
+        "task",
+        "up",
+        "suspect",
+        "last_ack",
+        "attempts",
+        "closing",
+    )
+
+    def __init__(self, src: str, dst: str):
+        self.src = src
+        self.dst = dst
+        #: Frames awaiting the wire.  Bounded (the sender sheds the
+        #: oldest past OUTBOX_LIMIT): a dead peer must not grow an
+        #: unbounded buffer — the protocol recovers dropped traffic
+        #: through curiosity/retransmission once the link heals.  Frames
+        #: are popped only after a successful write, so a connection
+        #: failure re-sends from the head after reconnect (at-least-once;
+        #: the protocol is idempotent to duplicate envelopes).
+        self.outbox: Deque[bytes] = deque()
+        #: Set by send() to rouse the pump from its heartbeat wait.
+        self.wakeup = asyncio.Event()
+        self.task: Optional[asyncio.Task] = None
+        #: True between a successful handshake and the next failure.
+        self.up = False
+        #: Set after a heartbeat timeout: a half-open peer accepts new
+        #: TCP connections just fine, so a suspect connection is only
+        #: reported usable again once the peer actually acks.
+        self.suspect = False
+        #: Loop time of the last heartbeat ack (or any successful write).
+        self.last_ack = 0.0
+        #: Consecutive failed connect attempts (drives the backoff).
+        self.attempts = 0
+        self.closing = False
+
 
 class TcpTransport:
-    """Localhost TCP transport: one listening socket per broker,
-    lazily established outgoing connections, JSON-lines framing."""
+    """Localhost TCP transport with connection supervision.
 
-    def __init__(self) -> None:
+    One listening socket per broker; per-(src, dst) outgoing connections
+    carry JSON-lines frames and are owned by a supervisor task that:
+
+    * establishes the connection lazily and re-establishes it after any
+      failure with exponential backoff (``reconnect_base`` doubling up to
+      ``reconnect_max``) plus seeded jitter, so a restarted broker's new
+      ephemeral port is picked up without thundering herds;
+    * sends a heartbeat line every ``heartbeat_interval`` seconds and
+      expects the peer's ack within ``heartbeat_timeout``; a silent
+      (half-open) connection is detected and torn down, which flips
+      ``link_usable`` to False the way a broker notices a dead link;
+    * drains a bounded outbox; when the outbox overflows while the link
+      is down the oldest frame is shed (counted in ``shed``) — safe,
+      because guaranteed traffic is recovered by the protocol's
+      nack/retransmission machinery, never silently by the transport.
+    """
+
+    #: Frames a downed connection may buffer before shedding the oldest.
+    OUTBOX_LIMIT = 1024
+
+    def __init__(
+        self,
+        heartbeat_interval: float = 0.1,
+        heartbeat_timeout: Optional[float] = None,
+        reconnect_base: float = 0.05,
+        reconnect_max: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = (
+            heartbeat_timeout
+            if heartbeat_timeout is not None
+            else 3.0 * heartbeat_interval
+        )
+        self.reconnect_base = reconnect_base
+        self.reconnect_max = reconnect_max
+        self.rng = random.Random(seed)
         #: broker -> (host, port) once listening.
         self.addresses: Dict[str, Tuple[str, int]] = {}
         self._servers: Dict[str, asyncio.AbstractServer] = {}
         self._receivers: Dict[str, ReceiveFn] = {}
-        #: (src, dst) -> writer for established outgoing connections.
-        self._writers: Dict[Tuple[str, str], asyncio.StreamWriter] = {}
+        self._conns: Dict[Tuple[str, str], _Connection] = {}
+        #: Administratively severed broker pairs (chaos injection).
+        self._severed: Set[Tuple[str, str]] = set()
+        #: Writers of accepted inbound connections, per listening broker,
+        #: so a broker crash can drop its half-open inbound sockets too.
+        self._inbound: Dict[str, Set[asyncio.StreamWriter]] = {}
+        #: Server-side handler tasks, per listening broker, so shutdown
+        #: can end them instead of leaking them to loop teardown.
+        self._handlers: Dict[str, Set[asyncio.Task]] = {}
         self.sent = 0
+        self.shed = 0
+        self.reconnects = 0
+        self.heartbeat_failures = 0
+
+    # -- lifecycle ---------------------------------------------------------
 
     async def start_broker(self, broker_id: str, on_receive: ReceiveFn) -> None:
         """Begin listening for this broker on an ephemeral port."""
         self._receivers[broker_id] = on_receive
+        inbound = self._inbound.setdefault(broker_id, set())
+        handlers = self._handlers.setdefault(broker_id, set())
 
         async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+            src = None
+            task = asyncio.current_task()
+            if task is not None:
+                handlers.add(task)
+            inbound.add(writer)
             try:
                 # First line identifies the peer.
                 hello = await reader.readline()
@@ -132,14 +240,41 @@ class TcpTransport:
                 while True:
                     line = await reader.readline()
                     if not line:
-                        return
-                    message = decode_frame(line)
+                        return  # EOF: peer closed or died (half-open ends here)
+                    obj = json.loads(line.decode("utf-8"))
+                    kind = obj.get("kind")
+                    if kind == "heartbeat":
+                        if not self._is_severed(src, broker_id):
+                            writer.write(b'{"kind": "heartbeat_ack"}\n')
+                            await writer.drain()
+                        continue
+                    if self._is_severed(src, broker_id):
+                        continue  # the wire is cut; frames die here
+                    if kind == "envelope":
+                        message = Envelope.from_wire(obj)
+                    elif kind == "link_status":
+                        message = LinkStatusMessage.from_wire(obj)
+                    else:
+                        raise ValueError(f"unknown frame kind {kind!r}")
                     receiver = self._receivers.get(broker_id)
                     if receiver is not None:
-                        receiver(src, message)
-            except (ConnectionError, json.JSONDecodeError, ValueError):
+                        result = receiver(src, message)
+                        if asyncio.iscoroutine(result):
+                            # Backpressure: a full broker inbox suspends
+                            # this reader, and TCP flow control pushes
+                            # back on the sender.
+                            await result
+            except (ConnectionError, json.JSONDecodeError, ValueError, KeyError):
+                pass
+            except asyncio.CancelledError:
+                # Absorb teardown cancellation: re-raising would trip the
+                # streams module's done-callback (task.exception() raises
+                # for cancelled tasks) and spam the loop's error log.
                 pass
             finally:
+                if task is not None:
+                    handlers.discard(task)
+                inbound.discard(writer)
                 writer.close()
 
         server = await asyncio.start_server(handle, host="127.0.0.1", port=0)
@@ -155,45 +290,210 @@ class TcpTransport:
             server.close()
             await server.wait_closed()
         self.addresses.pop(broker_id, None)
-        for key in [k for k in self._writers if broker_id in k]:
-            writer = self._writers.pop(key)
+        for writer in list(self._inbound.get(broker_id, ())):
             writer.close()
+        self._inbound.pop(broker_id, None)
+        handlers = self._handlers.pop(broker_id, set())
+        for task in handlers:
+            task.cancel()
+        if handlers:
+            await asyncio.gather(*handlers, return_exceptions=True)
+        # Kill this broker's *outgoing* supervisors; connections *to* it
+        # stay supervised on the remote side and reconnect on restart.
+        for key in [k for k in self._conns if k[0] == broker_id]:
+            await self._drop_connection(self._conns.pop(key))
 
-    async def _writer_for(self, src: str, dst: str) -> Optional[asyncio.StreamWriter]:
-        key = (src, dst)
-        writer = self._writers.get(key)
-        if writer is not None and not writer.is_closing():
-            return writer
-        address = self.addresses.get(dst)
-        if address is None:
-            return None
-        try:
-            __, writer = await asyncio.open_connection(*address)
-        except OSError:
-            return None
-        writer.write((json.dumps({"src": src}) + "\n").encode("utf-8"))
-        self._writers[key] = writer
-        return writer
+    async def close(self) -> None:
+        for conn in list(self._conns.values()):
+            await self._drop_connection(conn)
+        self._conns.clear()
+        for broker_id in list(self._servers):
+            await self.stop_broker(broker_id)
+
+    async def _drop_connection(self, conn: _Connection) -> None:
+        conn.closing = True
+        conn.up = False
+        if conn.task is not None:
+            conn.task.cancel()
+            try:
+                await conn.task
+            except (asyncio.CancelledError, Exception):
+                pass
+            conn.task = None
+
+    # -- fault injection ---------------------------------------------------
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def _is_severed(self, a: str, b: str) -> bool:
+        return self._key(a, b) in self._severed
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Sever the pair: established connections are torn down and new
+        frames (including heartbeats' acks) die on the floor until
+        :meth:`recover_link`."""
+        self._severed.add(self._key(a, b))
+        for key in ((a, b), (b, a)):
+            conn = self._conns.get(key)
+            if conn is not None:
+                conn.up = False  # the supervisor notices and backs off
+
+    def recover_link(self, a: str, b: str) -> None:
+        self._severed.discard(self._key(a, b))
+
+    # -- data path ---------------------------------------------------------
 
     def link_usable(self, a: str, b: str) -> bool:
+        """Local knowledge of link health.
+
+        A severed pair is down.  An established supervised connection
+        reports its heartbeat-fresh status.  A pair never sent to yet is
+        optimistically usable while the peer is listening (connections
+        are lazy), matching how a broker assumes a link is fine until its
+        transport learns otherwise.
+        """
+        if self._is_severed(a, b):
+            return False
+        conn = self._conns.get((a, b))
+        if conn is not None and conn.task is not None:
+            return conn.up
         return b in self.addresses
 
     def send(self, src: str, dst: str, message: Any) -> bool:
-        """Fire-and-forget: framing + write happen on the event loop."""
+        """Fire-and-forget: enqueue the frame on the supervised
+        connection (spawning its supervisor on first use).  Returns the
+        local link-health verdict, like the simulator's network."""
         self.sent += 1
-        asyncio.get_running_loop().create_task(self._send(src, dst, message))
-        return True
+        if self._is_severed(src, dst):
+            return False
+        conn = self._conns.get((src, dst))
+        if conn is None:
+            conn = _Connection(src, dst)
+            self._conns[(src, dst)] = conn
+            conn.task = asyncio.get_running_loop().create_task(
+                self._supervise(conn)
+            )
+        conn.outbox.append(encode_frame(message))
+        while len(conn.outbox) > self.OUTBOX_LIMIT:
+            # Shed the oldest buffered frame: bounded memory beats a
+            # stale backlog, and the GD protocol re-requests anything
+            # guaranteed that was lost.
+            conn.outbox.popleft()
+            self.shed += 1
+        conn.wakeup.set()
+        return conn.up or conn.task is not None and not conn.closing
 
-    async def _send(self, src: str, dst: str, message: Any) -> None:
-        writer = await self._writer_for(src, dst)
-        if writer is None:
-            return
+    # -- supervision -------------------------------------------------------
+
+    def _backoff(self, attempts: int) -> float:
+        """Exponential backoff with seeded jitter: base * 2^n, capped,
+        then scaled by a uniform [0.5, 1.0) factor."""
+        delay = min(self.reconnect_base * (2 ** attempts), self.reconnect_max)
+        return delay * (0.5 + 0.5 * self.rng.random())
+
+    async def _supervise(self, conn: _Connection) -> None:
+        """Own one outgoing connection until the transport drops it:
+        connect (with backoff), handshake, then pump the outbox and
+        heartbeats until the connection fails; repeat."""
         try:
-            writer.write(encode_frame(message))
-            await writer.drain()
-        except (ConnectionError, RuntimeError):
-            self._writers.pop((src, dst), None)
+            while not conn.closing:
+                address = self.addresses.get(conn.dst)
+                if address is None or self._is_severed(conn.src, conn.dst):
+                    conn.up = False
+                    await asyncio.sleep(self._backoff(conn.attempts))
+                    conn.attempts = min(conn.attempts + 1, 8)
+                    continue
+                try:
+                    reader, writer = await asyncio.open_connection(*address)
+                except OSError:
+                    conn.up = False
+                    await asyncio.sleep(self._backoff(conn.attempts))
+                    conn.attempts = min(conn.attempts + 1, 8)
+                    continue
+                if conn.attempts:
+                    self.reconnects += 1
+                conn.attempts = 0
+                try:
+                    await self._run_connection(conn, reader, writer)
+                finally:
+                    conn.up = False
+                    writer.close()
+        except asyncio.CancelledError:
+            pass
 
-    async def close(self) -> None:
-        for broker_id in list(self._servers):
-            await self.stop_broker(broker_id)
+    async def _run_connection(
+        self,
+        conn: _Connection,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Pump one established connection until it fails."""
+        loop = asyncio.get_running_loop()
+        writer.write((json.dumps({"src": conn.src}) + "\n").encode("utf-8"))
+        await writer.drain()
+        conn.up = not conn.suspect
+        conn.last_ack = loop.time()
+
+        async def read_acks() -> None:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    raise ConnectionResetError("peer closed")
+                conn.last_ack = loop.time()
+                conn.suspect = False
+                conn.up = True
+
+        ack_task = loop.create_task(read_acks())
+        # Wake the pump promptly when the reader sees EOF/reset, instead
+        # of waiting out the next heartbeat interval.
+        ack_task.add_done_callback(lambda __: conn.wakeup.set())
+
+        async def pump() -> None:
+            next_beat = loop.time() + self.heartbeat_interval
+            while True:
+                if self._is_severed(conn.src, conn.dst):
+                    raise ConnectionResetError("link severed")
+                if ack_task.done():
+                    raise ConnectionResetError("peer closed")
+                now = loop.time()
+                if now - conn.last_ack > self.heartbeat_timeout:
+                    # Half-open: writes may still "succeed" into a dead
+                    # socket, but the peer stopped acking heartbeats.
+                    self.heartbeat_failures += 1
+                    conn.suspect = True
+                    raise ConnectionResetError("heartbeat timeout")
+                if now >= next_beat:
+                    writer.write(b'{"kind": "heartbeat"}\n')
+                    await writer.drain()
+                    next_beat = now + self.heartbeat_interval
+                if conn.outbox:
+                    # Peek, write, then pop: a failure mid-write leaves
+                    # the frame at the head for the next incarnation.
+                    frame = conn.outbox[0]
+                    writer.write(frame)
+                    await writer.drain()
+                    if conn.outbox and conn.outbox[0] is frame:
+                        conn.outbox.popleft()
+                    continue
+                conn.wakeup.clear()
+                if conn.outbox:
+                    continue  # raced with a send between check and clear
+                try:
+                    await asyncio.wait_for(
+                        conn.wakeup.wait(), max(next_beat - loop.time(), 0.0)
+                    )
+                except asyncio.TimeoutError:
+                    pass
+
+        try:
+            await pump()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+        finally:
+            ack_task.cancel()
+            try:
+                await ack_task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass

@@ -255,6 +255,79 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(args)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .aio.chaos import run_chaos
+
+    status = 0
+    for offset in range(args.runs):
+        report = run_chaos(
+            seed=args.seed + offset,
+            duration=args.duration,
+            transport=args.transport,
+            data_dir=args.data_dir,
+            settle=args.settle,
+        )
+        print(report.render())
+        if not report.ok:
+            status = 1
+        if report.published < args.min_published:
+            print(
+                f"FAILURE: only {report.published} publications "
+                f"(wanted >= {args.min_published}); the run carried too "
+                f"little traffic to mean anything"
+            )
+            status = 1
+    return status
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .aio.chaos import FAST_PARAMS, chain_topology
+    from .aio.runtime import AioSystem
+    from .aio.transport import TcpTransport
+    from .client import DeliveryChecker
+
+    async def serve() -> int:
+        system = AioSystem(
+            chain_topology(),
+            params=FAST_PARAMS,
+            transport=TcpTransport(seed=args.seed),
+            data_dir=args.data_dir,
+        )
+        await system.start()
+        for broker_id, (host, port) in sorted(system.transport.addresses.items()):
+            print(f"broker {broker_id} listening on {host}:{port}")
+        client = system.subscribe("demo", "b2", ("P0", "P1"))
+        publishers = [
+            system.publisher(p, rate=args.rate) for p in ("P0", "P1")
+        ]
+        for publisher in publishers:
+            publisher.start()
+        remaining = args.duration
+        while remaining > 0:
+            step = min(1.0, remaining)
+            remaining -= await system.run_for(step)
+            print(
+                f"published {sum(len(p.published) for p in publishers):>6} "
+                f"delivered {len(client.received):>6}"
+            )
+        for publisher in publishers:
+            await publisher.stop()
+        await system.run_for(args.settle)
+        report = DeliveryChecker(publishers).check(
+            client, system.subscriptions["demo"]
+        )
+        await system.shutdown()
+        print(
+            f"final: published {report.matching_published}, delivered "
+            f"{report.delivered}, exactly once: {report.exactly_once}"
+        )
+        return 0 if report.exactly_once else 1
+
+    return asyncio.run(serve())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -407,6 +480,48 @@ def build_parser() -> argparse.ArgumentParser:
         "more than this fraction of wall-clock (CI uses 0.10)",
     )
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded real-time chaos runs against the asyncio runtime "
+        "(FileLog durability over TCP; see docs/DEPLOYMENT.md)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="base schedule seed")
+    p.add_argument(
+        "--runs", type=int, default=1,
+        help="consecutive seeds to run starting at --seed",
+    )
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="seconds of live traffic + faults per run")
+    p.add_argument("--settle", type=float, default=2.5,
+                   help="post-fault drain window before the oracle check")
+    p.add_argument("--transport", choices=("tcp", "local"), default="tcp")
+    p.add_argument(
+        "--data-dir", default=None,
+        help="pubend log directory (default: fresh temp dir per run)",
+    )
+    p.add_argument(
+        "--min-published", type=int, default=20,
+        help="fail a run that carried fewer publications than this",
+    )
+    p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="demo deployment: the b0-b1-b2 chain over real TCP with "
+        "durable pubend logs, printing live delivery counts",
+    )
+    p.add_argument("--duration", type=float, default=5.0)
+    p.add_argument("--settle", type=float, default=2.0,
+                   help="drain window after publishers stop")
+    p.add_argument("--rate", type=float, default=40.0,
+                   help="per-pubend publication rate (msgs/s)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--data-dir", default=None,
+        help="pubend log directory (default: in-memory logs)",
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     return parser
 

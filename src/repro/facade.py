@@ -1,0 +1,92 @@
+"""The backend-agnostic system facade.
+
+Two runtimes host the same :class:`~repro.broker.engine.GDBrokerEngine`:
+the deterministic simulator (:class:`~repro.topology.System`, built by
+:meth:`Topology.build`) and the real-time asyncio runtime
+(:class:`~repro.aio.runtime.AioSystem`).  Experiments, the fuzzer, and
+the chaos harness should not care which one they are driving, so both
+expose the same public surface, captured here as the
+:class:`SystemFacade` protocol:
+
+* ``subscribe(subscriber_id, broker_id, pubends, predicate=None, *,
+  total_order=False)`` — attach a subscriber client at an SHB;
+  ``predicate`` is accepted uniformly as a subscription string, a parsed
+  :class:`~repro.matching.ast.Predicate`, a plain callable, or ``None``
+  (match everything);
+* ``publisher(pubend, rate, make_attributes=None)`` — attach a
+  rate-driven publisher client at the pubend's PHB;
+* ``host_pubend(pubend_id, broker_id, log=None, ...)`` — place a pubend
+  on a broker after construction (the log defaults to the backend's
+  stable-storage flavour);
+* ``obs`` — the system's :class:`~repro.obs.observability.Observability`
+  (instrument registry, lifecycle hub, recorders).
+
+The protocol is ``runtime_checkable`` so harness code can assert
+``isinstance(system, SystemFacade)`` against either backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+from .core.edges import MATCH_ALL
+from .matching.parser import parse
+
+__all__ = ["SystemFacade", "resolve_predicate"]
+
+
+def resolve_predicate(predicate: Any) -> Any:
+    """Normalize the uniform ``predicate`` argument of ``subscribe``.
+
+    Strings are parsed with the subscription grammar, ``None`` matches
+    everything, and anything else (a parsed AST predicate or a plain
+    callable) passes through unchanged.  Both backends route their
+    ``subscribe`` through this helper so the accepted forms can never
+    drift apart.
+    """
+    if isinstance(predicate, str):
+        return parse(predicate)
+    if predicate is None:
+        return MATCH_ALL
+    return predicate
+
+
+@runtime_checkable
+class SystemFacade(Protocol):
+    """What every backend of the protocol engine must expose."""
+
+    obs: Any
+
+    def subscribe(
+        self,
+        subscriber_id: str,
+        broker_id: str,
+        pubends: Tuple[str, ...],
+        predicate: Any = None,
+        *,
+        total_order: bool = False,
+    ) -> Any:
+        """Attach a subscriber client at an SHB."""
+        ...
+
+    def publisher(
+        self,
+        pubend: str,
+        rate: float,
+        make_attributes: Optional[Callable[[int], Dict[str, Any]]] = None,
+    ) -> Any:
+        """Attach a rate-driven publisher client at the pubend's PHB."""
+        ...
+
+    def host_pubend(
+        self,
+        pubend_id: str,
+        broker_id: str,
+        log: Any = None,
+        *,
+        slot: int = 0,
+        n_slots: int = 1,
+        preassign_window: Optional[float] = None,
+    ) -> Any:
+        """Place a pubend on its hosting broker after construction."""
+        ...

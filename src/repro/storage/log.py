@@ -176,13 +176,14 @@ class FileLog(MessageLog):
     def _replay(self) -> None:
         if not os.path.exists(self.path):
             return
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
+        with open(self.path, "rb") as fh:
+            raw = fh.read()
+        pos = 0
+        for line in raw.splitlines(keepends=True):
+            stripped = line.strip()
+            if stripped:
                 try:
-                    obj = json.loads(line)
+                    obj = json.loads(stripped)
                 except json.JSONDecodeError:
                     # Torn tail write from a crash; everything before it is
                     # durable, the torn entry was never acknowledged.
@@ -192,6 +193,12 @@ class FileLog(MessageLog):
                 else:
                     entry = LogEntry.from_wire(obj)
                     self._entries.setdefault(entry.pubend, []).append(entry)
+            pos += len(line)
+        if pos < len(raw):
+            # Physically drop the torn bytes: the file is reopened in
+            # append mode, and a fresh entry written after them would be
+            # glued onto the partial line and lost on the next replay.
+            os.truncate(self.path, pos)
 
     def _apply_truncate(self, pubend: str, below: Tick) -> int:
         bucket = self._entries.get(pubend, [])

@@ -30,7 +30,7 @@ from .core.config import LivenessParams
 from .core.edges import FilterEdge, MATCH_ALL
 from .core.subend import Subscription
 from .client import PublisherClient, SubscriberClient
-from .matching.parser import parse
+from .facade import resolve_predicate
 from .metrics.cpu import CostModel
 from .obs.hub import MetricsHub
 from .obs.observability import Observability
@@ -330,6 +330,36 @@ class System:
         self.subscriptions: Dict[str, Subscription] = {}
         self._started = False
 
+    # -- hosting -----------------------------------------------------------
+
+    def host_pubend(
+        self,
+        pubend_id: str,
+        broker_id: str,
+        log: Optional[MessageLog] = None,
+        *,
+        slot: int = 0,
+        n_slots: int = 1,
+        preassign_window: Optional[float] = None,
+    ) -> MessageLog:
+        """Place a pubend on a broker after the system was built.
+
+        Part of the :class:`~repro.facade.SystemFacade` surface shared
+        with the asyncio runtime.  ``log`` defaults to a fresh
+        :class:`MemoryLog`; the log in use is returned so callers can
+        inspect or hand it to a restarted broker.  Pubends declared on
+        the :class:`Topology` get their slots from the plan — a pubend
+        hosted this way defaults to slot 0 of 1 and should only opt into
+        total-order merges with explicit ``slot``/``n_slots``.
+        """
+        log = log if log is not None else MemoryLog()
+        self.brokers[broker_id].host_pubend(
+            pubend_id, log, slot=slot, n_slots=n_slots,
+            preassign_window=preassign_window,
+        )
+        self.pubend_hosts[pubend_id] = broker_id
+        return log
+
     # -- clients -----------------------------------------------------------
 
     def publisher(
@@ -380,10 +410,7 @@ class System:
                     f"({5 + len(legacy)} given)"
                 )
             total_order = legacy[0]
-        if isinstance(predicate, str):
-            predicate = parse(predicate)
-        elif predicate is None:
-            predicate = MATCH_ALL
+        predicate = resolve_predicate(predicate)
         client = SubscriberClient(
             subscriber_id, metrics=self.metrics, check_total_order=total_order
         )

@@ -62,8 +62,15 @@ class TestLocalTransport:
             publisher.start()
             await system.run_for(0.6)
             await publisher.stop()
-            await system.run_for(1.5)
-            report = check(system, publisher, client, "a")
+            # Recovery time depends on where the nack backoff lands (up
+            # to nrt_max): poll for convergence instead of racing it
+            # with a fixed settle window.
+            report = None
+            for __ in range(16):
+                await system.run_for(0.5)
+                report = check(system, publisher, client, "a")
+                if report.exactly_once:
+                    break
             await system.shutdown()
             return report, transport
 

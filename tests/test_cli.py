@@ -29,6 +29,21 @@ class TestBenchParser:
         assert args.tolerance == 0.05
         assert args.repeat == 3
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seed == 0
+        assert args.runs == 1
+        assert args.duration == 2.0
+        assert args.transport == "tcp"
+        assert args.data_dir is None
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.duration == 5.0
+        assert args.settle == 2.0
+        assert args.rate == 40.0
+        assert args.data_dir is None
+
     def test_fuzz_and_replay_take_flush_delay(self):
         assert build_parser().parse_args(
             ["fuzz", "--flush-delay", "0.05"]
@@ -61,6 +76,7 @@ class TestBenchCommand:
             "matching_engine",
             "chain_batching",
             "trace_overhead",
+            "aio_throughput",
         }
         # The acceptance floors this PR is gated on.
         assert report["derived"]["batching_reduction"] >= 2.0
@@ -101,3 +117,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "exactly once" in out
         assert "nack" in out
+
+    def test_chaos_command_runs(self, capsys, tmp_path):
+        assert main([
+            "chaos",
+            "--duration", "1.0",
+            "--settle", "1.5",
+            "--min-published", "5",
+            "--data-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_serve_command_runs(self, capsys):
+        assert main(["serve", "--duration", "0.5", "--settle", "1.5"]) == 0
+        out = capsys.readouterr().out
+        assert "listening" in out
+        assert "exactly once: True" in out
