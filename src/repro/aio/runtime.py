@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import os
 import warnings
+from collections import Counter
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..broker.engine import BrokerServices, GDBrokerEngine
@@ -41,7 +42,17 @@ from ..storage.log import FileLog, MemoryLog, MessageLog
 from ..topology import Topology, TopologyPlan
 from .transport import LocalTransport
 
-__all__ = ["AioBroker", "AioSystem", "AioPublisher"]
+__all__ = ["AioBroker", "AioSystem", "AioPublisher", "KNOWN_MUTATIONS"]
+
+#: Deliberate protocol defects the runtime can be built with, for
+#: harness self-tests (the conformance harness must *detect* a mutated
+#: runtime diverging from the simulator; see docs/TESTING.md):
+#:
+#: * ``"suppress-retransmit"`` — every retransmission envelope is
+#:   silently discarded at the sending broker instead of hitting the
+#:   wire, so curiosity is never answered and dropped guaranteed traffic
+#:   stays lost.
+KNOWN_MUTATIONS = frozenset({"suppress-retransmit"})
 
 #: How many cancelled timer handles may accumulate before the tracking
 #: set is pruned (mirrors the sim scheduler's cancelled-timer fix).
@@ -72,9 +83,15 @@ class _AioServices(BrokerServices):
         return handle
 
     def send(self, dst: str, message: Any, size: int = 100) -> bool:
-        if not self.broker.alive:
+        broker = self.broker
+        if not broker.alive:
             return False
-        return self.broker.transport.send(self.broker.broker_id, dst, message)
+        if broker.mutations and "suppress-retransmit" in broker.mutations:
+            payload = getattr(message, "payload", None)
+            if getattr(payload, "retransmit", False):
+                broker.mutation_counts["suppress-retransmit"] += 1
+                return True  # claims success; the frame never leaves
+        return broker.transport.send(broker.broker_id, dst, message)
 
     def link_usable(self, neighbor: str) -> bool:
         return self.broker.transport.link_usable(self.broker.broker_id, neighbor)
@@ -109,6 +126,7 @@ class AioBroker:
         obs: Optional[Observability] = None,
         inbox_limit: int = 1024,
         slow_consumer: str = "backpressure",
+        mutations: frozenset = frozenset(),
     ):
         if slow_consumer not in ("backpressure", "shed"):
             raise ValueError(
@@ -127,6 +145,11 @@ class AioBroker:
         self.epoch = 0
         self.inbox_limit = inbox_limit
         self.slow_consumer = slow_consumer
+        #: Active deliberate defects (subset of KNOWN_MUTATIONS) and how
+        #: often each one fired — self-test instrumentation, never set in
+        #: production deployments.
+        self.mutations = mutations
+        self.mutation_counts: Counter = Counter()
         self.services = _AioServices(self)
         # The engine shares the system-wide lifecycle hub so tracers and
         # detectors attached to system.obs observe the real-time path
@@ -402,11 +425,16 @@ class AioPublisher:
         pubend: str,
         rate: float,
         make_attributes: Optional[Callable[[int], Dict[str, Any]]] = None,
+        max_messages: Optional[int] = None,
     ):
         self.broker = broker
         self.pubend = pubend
         self.interval = 1.0 / rate
         self.make_attributes = make_attributes
+        #: Stop after exactly this many publish attempts (failed attempts
+        #: count) — mirrors the simulator's count-limited PublisherClient
+        #: so both backends attempt the identical seq sequence.
+        self.max_messages = max_messages
         self.seq = 0
         self.published: List[Tuple[int, Tick, Event]] = []
         self.failed_attempts = 0
@@ -426,12 +454,17 @@ class AioPublisher:
         self.seq += 1
         return tick
 
+    @property
+    def done(self) -> bool:
+        """True once a count-limited publisher has made all its attempts."""
+        return self.max_messages is not None and self.seq >= self.max_messages
+
     def start(self) -> None:
         self._task = asyncio.get_running_loop().create_task(self._run())
 
     async def _run(self) -> None:
         try:
-            while True:
+            while self.max_messages is None or self.seq < self.max_messages:
                 self.publish_once()
                 await asyncio.sleep(self.interval)
         except asyncio.CancelledError:
@@ -469,7 +502,16 @@ class AioSystem:
         data_dir: Optional[str] = None,
         inbox_limit: int = 1024,
         slow_consumer: str = "backpressure",
+        mutations: Any = (),
     ):
+        mutations = frozenset(mutations)
+        unknown = mutations - KNOWN_MUTATIONS
+        if unknown:
+            raise ValueError(
+                f"unknown mutation(s) {sorted(unknown)}; "
+                f"known: {sorted(KNOWN_MUTATIONS)}"
+            )
+        self.mutations = mutations
         self.params = params if params is not None else LivenessParams()
         self.transport = transport if transport is not None else LocalTransport()
         self.obs = Observability()
@@ -497,6 +539,7 @@ class AioSystem:
                 obs=self.obs,
                 inbox_limit=inbox_limit,
                 slow_consumer=slow_consumer,
+                mutations=mutations,
             )
         for pubend_id, host_broker, slot, n_slots, preassign in self.plan.pubends:
             self.host_pubend(
@@ -601,9 +644,12 @@ class AioSystem:
         pubend: str,
         rate: float,
         make_attributes: Optional[Callable[[int], Dict[str, Any]]] = None,
+        max_messages: Optional[int] = None,
     ) -> AioPublisher:
         broker = self.brokers[self.pubend_hosts[pubend]]
-        publisher = AioPublisher(broker, pubend, rate, make_attributes)
+        publisher = AioPublisher(
+            broker, pubend, rate, make_attributes, max_messages=max_messages
+        )
         self.publishers.append(publisher)
         return publisher
 

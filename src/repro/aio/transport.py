@@ -64,12 +64,20 @@ class LocalTransport:
         latency: float = 0.0,
         drop_probability: float = 0.0,
         seed: int = 0,
+        jitter: float = 0.0,
     ):
         self.latency = latency
         self.drop_probability = drop_probability
+        #: Extra uniform [0, jitter) delivery delay per message; nonzero
+        #: jitter can reorder messages, like the simulator's jittery links.
+        self.jitter = jitter
         self.rng = random.Random(seed)
         self._receivers: Dict[str, ReceiveFn] = {}
         self._down: Set[Tuple[str, str]] = set()
+        #: Per-pair (drop, jitter) overrides of the ambient pathology,
+        #: keyed by the normalized broker pair — the real-time analogue of
+        #: the simulator's timed drop/reorder bursts on one link.
+        self._pathology: Dict[Tuple[str, str], Tuple[float, float]] = {}
         self.sent = 0
         self.dropped = 0
 
@@ -92,11 +100,30 @@ class LocalTransport:
     def link_usable(self, a: str, b: str) -> bool:
         return self._key(a, b) not in self._down and b in self._receivers
 
+    def set_pathology(
+        self, a: str, b: str, drop_probability: float = 0.0, jitter: float = 0.0
+    ) -> None:
+        """Override the ambient drop/jitter on one broker pair (a timed
+        burst from a fault schedule).  Setting both to 0 clears the
+        override, restoring the ambient pathology."""
+        key = self._key(a, b)
+        if drop_probability or jitter:
+            self._pathology[key] = (drop_probability, jitter)
+        else:
+            self._pathology.pop(key, None)
+
+    def clear_pathology(self, a: str, b: str) -> None:
+        self._pathology.pop(self._key(a, b), None)
+
     def send(self, src: str, dst: str, message: Any) -> bool:
         self.sent += 1
-        if self._key(src, dst) in self._down:
+        key = self._key(src, dst)
+        if key in self._down:
             return False
-        if self.drop_probability and self.rng.random() < self.drop_probability:
+        drop, jitter = self._pathology.get(
+            key, (self.drop_probability, self.jitter)
+        )
+        if drop and self.rng.random() < drop:
             self.dropped += 1
             return True
         loop = asyncio.get_running_loop()
@@ -106,8 +133,11 @@ class LocalTransport:
             if receiver is not None:
                 receiver(src, message)
 
-        if self.latency > 0:
-            loop.call_later(self.latency, deliver)
+        delay = self.latency
+        if jitter:
+            delay += self.rng.random() * jitter
+        if delay > 0:
+            loop.call_later(delay, deliver)
         else:
             loop.call_soon(deliver)
         return True

@@ -1,12 +1,25 @@
-"""``repro.check`` — the deterministic fault-schedule fuzzer.
+"""``repro.check`` — the deterministic fuzzer and the conformance harness.
 
 Seeded scenario generation (:mod:`~repro.check.scenario`), the
 exactly-once oracle suite (:mod:`~repro.check.oracles`), the execution
-harness and fuzz loop (:mod:`~repro.check.runner`), and the repro
-shrinker (:mod:`~repro.check.shrink`).  See ``docs/FUZZING.md`` for the
-seed/repro formats and the corpus check-in workflow.
+harness and fuzz loop (:mod:`~repro.check.runner`), the repro shrinker
+(:mod:`~repro.check.shrink`), and the differential sim↔asyncio
+conformance harness (:mod:`~repro.check.conformance`).  See
+``docs/FUZZING.md`` for the seed/repro formats and the corpus check-in
+workflow, and ``docs/TESTING.md`` for how the tiers fit together.
 """
 
+from .conformance import (
+    CONFORM_FORMAT,
+    ConformanceResult,
+    ConformReport,
+    StackOutcome,
+    conform,
+    load_conformance_repro,
+    replay_conformance,
+    run_conformance,
+    write_conformance_repro,
+)
 from .oracles import ORACLES, OracleFailure, OracleSuite
 from .runner import (
     FuzzReport,
@@ -52,4 +65,13 @@ __all__ = [
     "scenario_seed",
     "ShrinkStats",
     "shrink",
+    "CONFORM_FORMAT",
+    "ConformanceResult",
+    "ConformReport",
+    "StackOutcome",
+    "conform",
+    "load_conformance_repro",
+    "replay_conformance",
+    "run_conformance",
+    "write_conformance_repro",
 ]

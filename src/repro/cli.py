@@ -249,6 +249,51 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_conform(args: argparse.Namespace) -> int:
+    from .check import conform, replay_conformance
+    from .check.conformance import DEFAULT_TIME_SCALE
+
+    mutations = tuple(args.mutate or ())
+    time_scale = (
+        args.time_scale if args.time_scale is not None else DEFAULT_TIME_SCALE
+    )
+
+    if args.replay:
+        status = 0
+        for path in args.replay:
+            result, expect = replay_conformance(path)
+            verdict = "agree" if result.ok else "diverge"
+            agree = verdict == expect
+            print(f"{path}: expected {expect}, got {verdict} "
+                  f"{'OK' if agree else 'MISMATCH'}")
+            for line in result.divergences:
+                print(f"  {line}")
+            if not agree:
+                status = 1
+        return status
+
+    report = conform(
+        args.seed,
+        args.runs,
+        time_budget=args.time_budget,
+        shrink_divergences=args.shrink,
+        repro_dir=args.repro_dir,
+        progress=print,
+        stop_on_divergence=not args.keep_going,
+        time_scale=time_scale,
+        transport=args.transport,
+        mutations=mutations,
+    )
+    print(
+        f"conform: {report.runs} scenario(s), "
+        f"{len(report.divergences)} divergence(s), "
+        f"{report.elapsed:.1f}s wall (base seed {report.base_seed})"
+    )
+    for path in report.repro_paths:
+        print(f"repro: {path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import main as bench_main
 
@@ -447,6 +492,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the scenarios' knowledge-batching knob before replay",
     )
     p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser(
+        "conform",
+        help="differential sim vs asyncio conformance runs: one seeded "
+        "scenario executed on both backends and cross-checked "
+        "(docs/TESTING.md)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="base campaign seed")
+    p.add_argument("--runs", type=int, default=25, help="scenarios to run")
+    p.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop starting new scenarios after this much wall time",
+    )
+    p.add_argument(
+        "--replay", nargs="+", metavar="REPRO", default=None,
+        help="replay conformance repro files instead of running a campaign",
+    )
+    p.add_argument(
+        "--shrink", action=argparse.BooleanOptionalAction, default=True,
+        help="minimize divergences before writing repro files",
+    )
+    p.add_argument(
+        "--repro-dir", default=".",
+        help="directory for repro files of shrunk divergences",
+    )
+    p.add_argument(
+        "--keep-going", action="store_true",
+        help="continue the campaign after a divergence instead of stopping",
+    )
+    p.add_argument(
+        "--transport", choices=("local", "tcp"), default="local",
+        help="asyncio transport (tcp strips wire-loss pathologies: a "
+        "reliable stream cannot drop frames)",
+    )
+    p.add_argument(
+        "--time-scale", type=float, default=None,
+        help="wall-clock seconds per simulated second for the asyncio leg",
+    )
+    p.add_argument(
+        "--mutate", action="append", metavar="MUTATION", default=None,
+        help="run the asyncio leg with a deliberate protocol defect "
+        "(e.g. suppress-retransmit) — the harness must report divergence",
+    )
+    p.set_defaults(fn=_cmd_conform)
 
     p = sub.add_parser(
         "bench",

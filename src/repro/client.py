@@ -60,6 +60,7 @@ class PublisherClient:
         rate: float,
         make_attributes: Optional[Callable[[int], Dict[str, Any]]] = None,
         body_bytes: int = 0,
+        max_messages: Optional[int] = None,
     ):
         if rate <= 0:
             raise ValueError("rate must be positive")
@@ -69,6 +70,11 @@ class PublisherClient:
         self.interval = 1.0 / rate
         self.make_attributes = make_attributes
         self.body = "x" * body_bytes if body_bytes else None
+        #: Stop after exactly this many publish *attempts* (failed
+        #: attempts count): a count-limited workload attempts the same
+        #: seq sequence on any backend, which is what the conformance
+        #: harness keys its cross-stack comparison on.
+        self.max_messages = max_messages
         self.seq = 0
         #: (seq, tick, event) for successfully published messages.
         self.published: List[Tuple[int, Tick, Event]] = []
@@ -97,8 +103,16 @@ class PublisherClient:
         self.seq += 1
         return tick
 
+    @property
+    def done(self) -> bool:
+        """True once a count-limited publisher has made all its attempts."""
+        return self.max_messages is not None and self.seq >= self.max_messages
+
     def _tick(self) -> None:
         if not self._running:
+            return
+        if self.done:
+            self._running = False
             return
         self.publish_once()
         self.scheduler.call_later(self.interval, self._tick)

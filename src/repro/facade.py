@@ -13,16 +13,27 @@ expose the same public surface, captured here as the
   ``predicate`` is accepted uniformly as a subscription string, a parsed
   :class:`~repro.matching.ast.Predicate`, a plain callable, or ``None``
   (match everything);
-* ``publisher(pubend, rate, make_attributes=None)`` — attach a
-  rate-driven publisher client at the pubend's PHB;
+* ``publisher(pubend, rate, make_attributes=None, max_messages=None)``
+  — attach a rate-driven publisher client at the pubend's PHB
+  (``max_messages`` bounds its publish *attempts*, so a count-limited
+  workload attempts the identical seq sequence on either backend);
 * ``host_pubend(pubend_id, broker_id, log=None, ...)`` — place a pubend
   on a broker after construction (the log defaults to the backend's
   stable-storage flavour);
 * ``obs`` — the system's :class:`~repro.obs.observability.Observability`
-  (instrument registry, lifecycle hub, recorders).
+  (instrument registry, lifecycle hub, recorders);
+* ``brokers`` / ``subscribers`` / ``subscriptions`` / ``publishers`` —
+  the live registries differential harnesses introspect: broker hosts
+  (each with ``alive`` and, when up, an ``engine`` whose
+  ``stream_state()`` reports the knowledge horizons), subscriber clients
+  by id, their :class:`~repro.core.subend.Subscription` records, and the
+  attached publisher clients.
 
 The protocol is ``runtime_checkable`` so harness code can assert
-``isinstance(system, SystemFacade)`` against either backend.
+``isinstance(system, SystemFacade)`` against either backend — the
+conformance harness (:mod:`repro.check.conformance`) does exactly that
+before driving the simulator and the asyncio runtime through the same
+scenario.
 """
 
 from __future__ import annotations
@@ -56,6 +67,14 @@ class SystemFacade(Protocol):
     """What every backend of the protocol engine must expose."""
 
     obs: Any
+    #: broker_id -> broker host (``alive``; ``engine.stream_state()``).
+    brokers: Dict[str, Any]
+    #: subscriber_id -> attached SubscriberClient.
+    subscribers: Dict[str, Any]
+    #: subscriber_id -> Subscription record.
+    subscriptions: Dict[str, Any]
+    #: Publisher clients attached via :meth:`publisher`.
+    publishers: Any
 
     def subscribe(
         self,
@@ -74,6 +93,7 @@ class SystemFacade(Protocol):
         pubend: str,
         rate: float,
         make_attributes: Optional[Callable[[int], Dict[str, Any]]] = None,
+        max_messages: Optional[int] = None,
     ) -> Any:
         """Attach a rate-driven publisher client at the pubend's PHB."""
         ...

@@ -20,9 +20,10 @@ message arguments are duck-typed protocol objects.
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+from collections import Counter
+from typing import Any, List, Sequence, Tuple
 
-__all__ = ["LifecycleHub", "LifecycleListener"]
+__all__ = ["LifecycleHub", "LifecycleListener", "LifecycleRecorder"]
 
 
 class LifecycleListener:
@@ -133,6 +134,54 @@ class LifecycleListener:
 
     def fault(self, t: float, kind: str, target: str) -> None:
         """A fault injector applied a fault."""
+
+
+class LifecycleRecorder(LifecycleListener):
+    """Order-insensitive multiset record of a run's semantic events.
+
+    The conformance harness (:mod:`repro.check.conformance`) attaches one
+    per backend and compares the projections that must agree across the
+    simulator and the asyncio runtime regardless of wall-clock
+    interleaving: how many times each publication *committed* and how
+    many times each (subscriber, publication) *delivery* fired.  Counters
+    rather than sets, so a duplicated commit or delivery — which the
+    protocol forbids — shows up as a count above one instead of
+    vanishing into set semantics.  Retransmission traffic and injected
+    faults are tallied as context for divergence reports.
+    """
+
+    def __init__(self) -> None:
+        #: (pubend, tick) -> times the log append committed.
+        self.committed_events: Counter = Counter()
+        #: (subscriber, pubend, tick) -> times the client saw delivery.
+        self.delivered_events: Counter = Counter()
+        self.retransmits_sent = 0
+        #: (kind, target) fault applications, in observation order.
+        self.faults: List[Tuple[str, str]] = []
+
+    def committed(self, t: float, node: str, pubend: str, tick: int) -> None:
+        self.committed_events[(pubend, tick)] += 1
+
+    def delivered(
+        self, t: float, node: str, subscriber: str, pubend: str, tick: int
+    ) -> None:
+        self.delivered_events[(subscriber, pubend, tick)] += 1
+
+    def knowledge_sent(
+        self,
+        t: float,
+        node: str,
+        dst: str,
+        cell: str,
+        message: Any,
+        kind: str,
+        sideways: bool = False,
+    ) -> None:
+        if kind == "retransmit":
+            self.retransmits_sent += 1
+
+    def fault(self, t: float, kind: str, target: str) -> None:
+        self.faults.append((kind, target))
 
 
 _HOOKS = (

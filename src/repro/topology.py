@@ -368,6 +368,7 @@ class System:
         rate: float,
         make_attributes: Optional[Callable[[int], Dict[str, Any]]] = None,
         body_bytes: int = 0,
+        max_messages: Optional[int] = None,
     ) -> PublisherClient:
         broker = self.brokers[self.pubend_hosts[pubend]]
         client = PublisherClient(
@@ -377,6 +378,7 @@ class System:
             rate,
             make_attributes=make_attributes,
             body_bytes=body_bytes,
+            max_messages=max_messages,
         )
         self.publishers.append(client)
         return client

@@ -43,6 +43,7 @@ class TestSchedule:
 
 
 class TestChaosRuns:
+    @pytest.mark.slow
     def test_tcp_filelog_phb_crash_exactly_once(self, tmp_path):
         """The acceptance scenario: durable pubends over TCP survive a
         real kill+restart of their hosting broker."""
@@ -56,6 +57,7 @@ class TestChaosRuns:
         assert ("kill", "b0") in {(a.kind, a.target) for a in report.actions}
         assert report.counters["broker_restarts"] >= 1
 
+    @pytest.mark.slow
     def test_severed_link_heals_without_intervention(self):
         # Seed 2's schedule severs b0|b1 before any crash (see the
         # deterministic schedule); the supervised transport must carry
@@ -64,6 +66,7 @@ class TestChaosRuns:
         assert report.ok, report.render()
         assert any(a.kind == "sever" for a in report.actions)
 
+    @pytest.mark.slow
     def test_local_transport_profile(self):
         report = run_chaos(seed=3, duration=1.2, transport="local", settle=2.0)
         assert report.ok, report.render()

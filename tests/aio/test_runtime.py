@@ -33,18 +33,32 @@ def check(system, publisher, client, sub_id):
     )
 
 
+async def settle(system, publisher, client, sub_id, rounds=16, step=0.5):
+    """Poll for exactly-once convergence instead of racing a fixed drain
+    window: recovery time depends on where the nack backoff lands (up to
+    nrt_max), so any fixed settle is a flake waiting to happen."""
+    report = check(system, publisher, client, sub_id)
+    for __ in range(rounds):
+        if report.exactly_once:
+            break
+        await system.run_for(step)
+        report = check(system, publisher, client, sub_id)
+    return report
+
+
 class TestLocalTransport:
     def test_end_to_end_exactly_once(self):
         async def scenario():
-            system = AioSystem(gd_topology(), params=FAST)
+            system = AioSystem(
+                gd_topology(), params=FAST, transport=LocalTransport(seed=1)
+            )
             await system.start()
             client = system.subscribe("a", "shb", ("P0",))
             publisher = system.publisher("P0", rate=200.0)
             publisher.start()
             await system.run_for(0.5)
             await publisher.stop()
-            await system.run_for(0.5)
-            report = check(system, publisher, client, "a")
+            report = await settle(system, publisher, client, "a")
             await system.shutdown()
             return report, publisher
 
@@ -62,15 +76,7 @@ class TestLocalTransport:
             publisher.start()
             await system.run_for(0.6)
             await publisher.stop()
-            # Recovery time depends on where the nack backoff lands (up
-            # to nrt_max): poll for convergence instead of racing it
-            # with a fixed settle window.
-            report = None
-            for __ in range(16):
-                await system.run_for(0.5)
-                report = check(system, publisher, client, "a")
-                if report.exactly_once:
-                    break
+            report = await settle(system, publisher, client, "a")
             await system.shutdown()
             return report, transport
 
@@ -80,7 +86,9 @@ class TestLocalTransport:
 
     def test_content_filtering(self):
         async def scenario():
-            system = AioSystem(gd_topology(), params=FAST)
+            system = AioSystem(
+                gd_topology(), params=FAST, transport=LocalTransport(seed=3)
+            )
             await system.start()
             client = system.subscribe("a", "shb", ("P0",), "g = 0")
             publisher = system.publisher(
@@ -89,8 +97,7 @@ class TestLocalTransport:
             publisher.start()
             await system.run_for(0.4)
             await publisher.stop()
-            await system.run_for(0.4)
-            report = check(system, publisher, client, "a")
+            report = await settle(system, publisher, client, "a")
             await system.shutdown()
             return report, publisher
 
@@ -100,7 +107,7 @@ class TestLocalTransport:
 
     def test_broker_crash_and_recovery(self):
         async def scenario():
-            transport = LocalTransport()
+            transport = LocalTransport(seed=11)
             system = AioSystem(
                 gd_topology(), params=FAST, transport=transport
             )
@@ -114,8 +121,7 @@ class TestLocalTransport:
             system.brokers["phb"].restart()
             await system.run_for(0.5)
             await publisher.stop()
-            await system.run_for(1.5)
-            report = check(system, publisher, client, "a")
+            report = await settle(system, publisher, client, "a")
             await system.shutdown()
             return report, publisher
 
@@ -130,7 +136,7 @@ class TestSubscriptionPropagationOverAio:
             params = FAST.with_(
                 subscription_propagation=True, link_status_interval=0.05
             )
-            transport = LocalTransport()
+            transport = LocalTransport(seed=13)
             system = AioSystem(gd_topology(), params=params, transport=transport)
             await system.start()
             client = system.subscribe("a", "shb", ("P0",), "g = 0")
@@ -141,8 +147,7 @@ class TestSubscriptionPropagationOverAio:
             publisher.start()
             await system.run_for(0.4)
             await publisher.stop()
-            await system.run_for(0.4)
-            report = check(system, publisher, client, "a")
+            report = await settle(system, publisher, client, "a")
             phb_stats = system.brokers["phb"].engine.stats()
             await system.shutdown()
             return report, publisher, phb_stats
@@ -186,8 +191,7 @@ class TestTcpTransport:
             publisher.start()
             await system.run_for(0.6)
             await publisher.stop()
-            await system.run_for(0.8)
-            report = check(system, publisher, client, "a")
+            report = await settle(system, publisher, client, "a")
             await system.shutdown()
             return report, publisher
 

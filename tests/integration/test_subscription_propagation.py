@@ -2,7 +2,7 @@
 dynamically from the subscriptions below each path."""
 
 from repro import DeliveryChecker, LivenessParams
-from repro.sim.trace import Tracer
+from repro.obs import Tracer
 from repro.topology import Topology, balanced_pubend_names, figure3_topology
 
 PROPAGATION = LivenessParams(

@@ -74,6 +74,57 @@ class TestCovers:
         assert not covers(negation, parse("a = 2"))
 
 
+class TestCoversEdgeCases:
+    def test_equality_is_type_faithful_across_numeric_types(self):
+        # 1 == 1.0 in Python, but `a = 1` must not claim to cover
+        # `a = 1.0`: type fidelity is part of the subscription contract.
+        assert not covers(parse("a = 1"), parse("a = 1.0"))
+
+    def test_incomparable_bound_types_are_not_proven(self):
+        # A numeric bound can't be ordered against a string bound; the
+        # check must fall back to "not proven", never raise.
+        assert not covers(parse("a > 1"), parse("a > 'z'"))
+        assert not covers(parse("a < 'z'"), parse("a < 1"))
+
+    def test_string_bounds_order_lexicographically(self):
+        assert covers(parse("s < 'm'"), parse("s < 'a'"))
+        assert not covers(parse("s < 'a'"), parse("s < 'm'"))
+
+    def test_strict_versus_inclusive_upper_bounds(self):
+        assert covers(parse("a <= 5"), parse("a < 5"))
+        assert not covers(parse("a < 5"), parse("a <= 5"))
+
+    def test_inclusive_bound_does_not_prove_inequality(self):
+        # a >= 3 admits a = 3, so it cannot prove a != 3 ...
+        assert not covers(parse("a != 3"), parse("a >= 3"))
+        # ... but a >= 4 strictly excludes 3.
+        assert covers(parse("a != 3"), parse("a >= 4"))
+
+    def test_inequality_implies_presence(self):
+        # `a != 3` only matches events that carry `a` (missing attributes
+        # collapse to false), so existence is implied.
+        assert covers(parse("exists a"), parse("a != 3"))
+
+    def test_unsatisfiable_specific_is_covered(self):
+        # `a = 1 and a = 2` matches nothing, so any general predicate
+        # covers it soundly.
+        assert covers(parse("a = 1"), parse("a = 1 and a = 2"))
+
+    def test_disjunction_on_both_sides(self):
+        # Proven when a single general disjunct covers the whole
+        # specific disjunction ...
+        assert covers(parse("a > 0 or b > 0"), parse("a > 1 or a > 2"))
+        # ... but not when each specific disjunct needs a *different*
+        # general disjunct: the check tries general terms one at a time
+        # (incomplete, still sound — False only means "not proven").
+        assert not covers(parse("a > 0 or b > 0"), parse("a > 1 or b > 1"))
+
+    def test_tightest_bound_wins_in_a_conjunction(self):
+        # The specific's effective lower bound is the tightest one.
+        assert covers(parse("a > 5"), parse("a > 2 and a > 7"))
+        assert not covers(parse("a > 5"), parse("a > 2 and a > 4"))
+
+
 # --- soundness property: covers => implication on all events -------------------
 
 attr_names = st.sampled_from(["a", "b"])

@@ -97,3 +97,83 @@ class TestErrors:
             assert exc.position > 0
         else:  # pragma: no cover
             pytest.fail("expected ParseError")
+
+
+# --- render → parse round trip ------------------------------------------------
+#
+# AST nodes promise (see repro.matching.ast) that str(node) parses back to
+# an equal AST.  Random predicates are built through conjoin/disjoin so the
+# generated trees stay in the parser's canonical shape (the renderer
+# flattens directly-nested same-connective terms, exactly like the
+# combinators do).
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.matching.ast import conjoin, disjoin  # noqa: E402
+
+_KEYWORDS = {"and", "or", "not", "true", "false", "exists"}
+
+identifiers = st.from_regex(
+    r"[A-Za-z_][A-Za-z0-9_.]{0,10}", fullmatch=True
+).filter(lambda name: name.lower() not in _KEYWORDS)
+literals = st.one_of(
+    st.integers(-(10**6), 10**6),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.text(max_size=12),
+)
+leaves = st.one_of(
+    st.builds(
+        Comparison,
+        attr=identifiers,
+        op=st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        value=literals,
+    ),
+    st.builds(Exists, attr=identifiers),
+    st.just(TrueP()),
+    st.just(FalseP()),
+)
+rendered_predicates = st.recursive(
+    leaves,
+    lambda children: st.one_of(
+        st.lists(children, min_size=2, max_size=3).map(lambda ts: conjoin(*ts)),
+        st.lists(children, min_size=2, max_size=3).map(lambda ts: disjoin(*ts)),
+        children.map(Not),
+    ),
+    max_leaves=8,
+)
+
+
+class TestRenderParseRoundTrip:
+    @given(rendered_predicates)
+    @settings(max_examples=400, deadline=None)
+    def test_round_trip(self, predicate):
+        assert parse(str(predicate)) == predicate
+
+    @given(rendered_predicates)
+    @settings(max_examples=100, deadline=None)
+    def test_rendering_is_stable(self, predicate):
+        # Rendering the reparsed AST must reproduce the same string —
+        # str() is a canonical form, not just parseable output.
+        assert str(parse(str(predicate))) == str(predicate)
+
+    @pytest.mark.parametrize(
+        "value",
+        ["", "it's", "''", "a 'quoted' b", "line\nbreak", "ünïcødé"],
+    )
+    def test_string_literal_round_trip(self, value):
+        predicate = Comparison("s", "=", value)
+        assert parse(str(predicate)) == predicate
+
+    @pytest.mark.parametrize("value", [1e-5, 1e16, -0.5, 5e-324, 2.0])
+    def test_float_literal_round_trip(self, value):
+        predicate = Comparison("p", "<", value)
+        assert parse(str(predicate)) == predicate
+
+    @pytest.mark.parametrize(
+        "name", ["Anderson", "order", "not_x", "existsX", "TRUEISH", "a.b.c"]
+    )
+    def test_keyword_prefixed_identifiers_survive(self, name):
+        predicate = Exists(name)
+        assert parse(str(predicate)) == predicate

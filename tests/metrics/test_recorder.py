@@ -4,12 +4,12 @@ import pytest
 
 from repro.metrics.recorder import (
     LatencyRecorder,
-    MetricsHub,
     NackRecorder,
     Series,
     median,
     percentile,
 )
+from repro.obs import MetricsHub
 
 
 class TestReducers:

@@ -3,7 +3,7 @@
 import io
 import json
 
-from repro.sim.trace import Tracer
+from repro.obs import Tracer
 from repro.topology import two_broker_topology
 
 

@@ -52,6 +52,27 @@ class TestBenchParser:
             ["replay", "x.json", "--flush-delay", "0.02"]
         ).flush_delay == 0.02
 
+    def test_conform_defaults(self):
+        args = build_parser().parse_args(["conform"])
+        assert args.seed == 0
+        assert args.runs == 25
+        assert args.replay is None
+        assert args.shrink is True
+        assert args.transport == "local"
+        assert args.time_scale is None
+        assert args.mutate is None
+
+    def test_conform_takes_mutations_and_replay_list(self):
+        args = build_parser().parse_args(
+            ["conform", "--mutate", "suppress-retransmit", "--transport", "tcp"]
+        )
+        assert args.mutate == ["suppress-retransmit"]
+        assert args.transport == "tcp"
+        replay = build_parser().parse_args(
+            ["conform", "--replay", "a.json", "b.json"]
+        )
+        assert replay.replay == ["a.json", "b.json"]
+
 
 class TestBenchCommand:
     def test_bench_emits_report_and_baseline(self, capsys, tmp_path):

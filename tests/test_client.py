@@ -10,7 +10,7 @@ from repro.client import (
 )
 from repro.core.subend import Subscription
 from repro.matching.events import Event
-from repro.metrics.recorder import MetricsHub
+from repro.obs import MetricsHub
 
 
 class TestSubscriberClient:
