@@ -3,6 +3,16 @@
 from .chaos import ChaosAction, ChaosReport, chaos, chaos_schedule, run_chaos
 from .runtime import AioBroker, AioPublisher, AioSystem
 from .transport import LocalTransport, TcpTransport, decode_frame, encode_frame
+from .wire import (
+    FrameDecoder,
+    FrameError,
+    OversizedFrame,
+    SerializeCache,
+    decode_batch_body,
+    decode_wire_message,
+    encode_batch_frame,
+    encode_wire_message,
+)
 
 __all__ = [
     "AioBroker",
@@ -10,11 +20,19 @@ __all__ = [
     "AioSystem",
     "ChaosAction",
     "ChaosReport",
+    "FrameDecoder",
+    "FrameError",
     "LocalTransport",
+    "OversizedFrame",
+    "SerializeCache",
     "TcpTransport",
     "chaos",
     "chaos_schedule",
+    "decode_batch_body",
     "decode_frame",
+    "decode_wire_message",
+    "encode_batch_frame",
     "encode_frame",
+    "encode_wire_message",
     "run_chaos",
 ]

@@ -161,10 +161,17 @@ async def chaos(
     params: Optional[LivenessParams] = None,
     rate: float = 60.0,
     settle: float = 2.5,
+    aio_flush_delay: Optional[float] = None,
+    max_batch_bytes: Optional[int] = None,
 ) -> ChaosReport:
     """Run one seeded chaos scenario against the asyncio runtime."""
     if transport == "tcp":
-        wire = TcpTransport(heartbeat_interval=0.1, seed=seed)
+        wire_kwargs: Dict[str, float] = {}
+        if aio_flush_delay is not None:
+            wire_kwargs["flush_delay"] = aio_flush_delay
+        if max_batch_bytes is not None:
+            wire_kwargs["max_batch_bytes"] = max_batch_bytes
+        wire = TcpTransport(heartbeat_interval=0.1, seed=seed, **wire_kwargs)
     elif transport == "local":
         wire = LocalTransport(latency=0.001, seed=seed)
     else:
@@ -223,7 +230,15 @@ async def chaos(
         for broker_id, broker in sorted(system.brokers.items()):
             if broker.failure is not None:
                 report.failures.append(f"{broker_id}: {broker.failure!r}")
-        for name in ("reconnects", "heartbeat_failures", "shed", "sent"):
+        for name in (
+            "reconnects",
+            "heartbeat_failures",
+            "shed",
+            "sent",
+            "frames_sent",
+            "msgs_sent",
+            "serialize_cache_hits",
+        ):
             value = getattr(wire, name, None)
             if value is not None:
                 report.counters[name] = value
@@ -245,6 +260,8 @@ def run_chaos(
     params: Optional[LivenessParams] = None,
     rate: float = 60.0,
     settle: float = 2.5,
+    aio_flush_delay: Optional[float] = None,
+    max_batch_bytes: Optional[int] = None,
 ) -> ChaosReport:
     """Synchronous wrapper: run one chaos scenario on a fresh loop."""
     return asyncio.run(
@@ -256,5 +273,7 @@ def run_chaos(
             params=params,
             rate=rate,
             settle=settle,
+            aio_flush_delay=aio_flush_delay,
+            max_batch_bytes=max_batch_bytes,
         )
     )

@@ -11,9 +11,12 @@ provides two asyncio transports so the same protocol runs in real time:
 * :class:`TcpTransport` — real TCP on localhost: each broker listens on
   its own port; outgoing connections are *supervised* — established
   lazily, kept alive by heartbeats, and re-established with exponential
-  backoff plus jitter after any failure.  Messages travel as JSON lines
-  through the wire codec (:mod:`repro.core.messages` and the
-  envelope/link-status codecs).
+  backoff plus jitter after any failure.  Messages travel in the
+  length-prefixed binary frame protocol of :mod:`repro.aio.wire`: a
+  per-connection **coalescing writer** cork-batches everything queued
+  within ``flush_delay`` (bounded by ``max_batch_bytes``) into one batch
+  frame and one ``drain()``, and a **serialize-once cache** encodes a
+  message fanned out to N peers exactly once.
 
 Both expose the same small interface: ``send(src, dst, message) -> bool``
 plus a per-broker receive callback, ``link_usable(a, b)``, and
@@ -30,9 +33,22 @@ import asyncio
 import json
 import random
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
-from ..broker.state import Envelope, LinkStatusMessage
+from ..obs.instruments import NULL_INSTRUMENTS
+from . import wire
+from .wire import (
+    FRAME_BATCH,
+    FRAME_HEARTBEAT,
+    FRAME_HELLO,
+    FrameDecoder,
+    FrameError,
+    SerializeCache,
+    decode_batch_body,
+    decode_wire_message,
+    encode_batch_frame,
+    encode_wire_message,
+)
 
 __all__ = ["LocalTransport", "TcpTransport", "encode_frame", "decode_frame"]
 
@@ -42,18 +58,29 @@ ReceiveFn = Callable[[str, Any], Any]
 
 
 def encode_frame(message: Any) -> bytes:
-    """Serialize an Envelope or LinkStatusMessage to one JSON line."""
-    return (json.dumps(message.to_wire()) + "\n").encode("utf-8")
+    """Serialize one message as a complete (single-element batch) frame.
+
+    Backward-compatible wrapper over :mod:`repro.aio.wire` — new code
+    batching several messages should use the wire module directly.
+    """
+    return encode_batch_frame([encode_wire_message(message)])
 
 
-def decode_frame(line: bytes) -> Any:
-    obj = json.loads(line.decode("utf-8"))
-    kind = obj.get("kind")
-    if kind == "envelope":
-        return Envelope.from_wire(obj)
-    if kind == "link_status":
-        return LinkStatusMessage.from_wire(obj)
-    raise ValueError(f"unknown frame kind {kind!r}")
+def decode_frame(data: bytes) -> Any:
+    """Decode one message from a frame produced by :func:`encode_frame`.
+
+    Also accepts a legacy JSON line (the pre-binary wire format), so old
+    captures and tests keep decoding.
+    """
+    if data[:1] in (b"{", b" "):
+        return decode_wire_message(data)
+    frame_type, body = wire.decode_one_frame(data)
+    if frame_type != FRAME_BATCH:
+        raise FrameError(f"expected a batch frame, got type {frame_type}")
+    payloads = decode_batch_body(body)
+    if not payloads:
+        raise FrameError("empty batch frame")
+    return decode_wire_message(payloads[0])
 
 
 class LocalTransport:
@@ -165,12 +192,14 @@ class _Connection:
     def __init__(self, src: str, dst: str):
         self.src = src
         self.dst = dst
-        #: Frames awaiting the wire.  Bounded (the sender sheds the
-        #: oldest past OUTBOX_LIMIT): a dead peer must not grow an
-        #: unbounded buffer — the protocol recovers dropped traffic
-        #: through curiosity/retransmission once the link heals.  Frames
-        #: are popped only after a successful write, so a connection
-        #: failure re-sends from the head after reconnect (at-least-once;
+        #: Encoded message payloads awaiting the wire (batch elements,
+        #: not complete frames — the pump builds one frame per flush).
+        #: Bounded (the sender sheds the oldest past OUTBOX_LIMIT): a
+        #: dead peer must not grow an unbounded buffer — the protocol
+        #: recovers dropped traffic through curiosity/retransmission once
+        #: the link heals.  Payloads are popped only after a successful
+        #: write+drain, so a connection failure re-sends the whole
+        #: in-flight batch from the head after reconnect (at-least-once;
         #: the protocol is idempotent to duplicate envelopes).
         self.outbox: Deque[bytes] = deque()
         #: Set by send() to rouse the pump from its heartbeat wait.
@@ -193,23 +222,36 @@ class TcpTransport:
     """Localhost TCP transport with connection supervision.
 
     One listening socket per broker; per-(src, dst) outgoing connections
-    carry JSON-lines frames and are owned by a supervisor task that:
+    carry length-prefixed binary frames (:mod:`repro.aio.wire`) and are
+    owned by a supervisor task that:
 
     * establishes the connection lazily and re-establishes it after any
       failure with exponential backoff (``reconnect_base`` doubling up to
       ``reconnect_max``) plus seeded jitter, so a restarted broker's new
       ephemeral port is picked up without thundering herds;
-    * sends a heartbeat line every ``heartbeat_interval`` seconds and
+    * sends a heartbeat frame every ``heartbeat_interval`` seconds and
       expects the peer's ack within ``heartbeat_timeout``; a silent
       (half-open) connection is detected and torn down, which flips
       ``link_usable`` to False the way a broker notices a dead link;
+    * **cork-batches** the outbox: a nonempty outbox is left to
+      accumulate for ``flush_delay`` seconds, then everything queued (up
+      to ``max_batch_bytes`` / ``max_batch_msgs``) is written as one
+      batch frame and drained once — N messages cost one syscall round
+      trip instead of N.  ``flush_delay=0`` still coalesces whatever
+      queued since the previous drain (greedy batching, no added
+      latency); ``max_batch_msgs=1`` restores the historical
+      frame-per-message compat behaviour.
     * drains a bounded outbox; when the outbox overflows while the link
-      is down the oldest frame is shed (counted in ``shed``) — safe,
+      is down the oldest payload is shed (counted in ``shed``) — safe,
       because guaranteed traffic is recovered by the protocol's
       nack/retransmission machinery, never silently by the transport.
+
+    Sends are serialized through a :class:`~repro.aio.wire.SerializeCache`
+    so a message fanned out to several peers is encoded once; hits are
+    counted in ``serialize_cache_hits``.
     """
 
-    #: Frames a downed connection may buffer before shedding the oldest.
+    #: Payloads a downed connection may buffer before shedding the oldest.
     OUTBOX_LIMIT = 1024
 
     def __init__(
@@ -219,6 +261,11 @@ class TcpTransport:
         reconnect_base: float = 0.05,
         reconnect_max: float = 1.0,
         seed: int = 0,
+        *,
+        flush_delay: float = 0.001,
+        max_batch_bytes: int = 256 * 1024,
+        max_batch_msgs: Optional[int] = None,
+        max_frame_bytes: int = wire.MAX_FRAME_BYTES,
     ) -> None:
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = (
@@ -228,6 +275,12 @@ class TcpTransport:
         )
         self.reconnect_base = reconnect_base
         self.reconnect_max = reconnect_max
+        #: Cork window of the coalescing writer (seconds).  Bounded added
+        #: latency per hop in exchange for far fewer frames and drains.
+        self.flush_delay = flush_delay
+        self.max_batch_bytes = max_batch_bytes
+        self.max_batch_msgs = max_batch_msgs
+        self.max_frame_bytes = max_frame_bytes
         self.rng = random.Random(seed)
         #: broker -> (host, port) once listening.
         self.addresses: Dict[str, Tuple[str, int]] = {}
@@ -242,10 +295,46 @@ class TcpTransport:
         #: Server-side handler tasks, per listening broker, so shutdown
         #: can end them instead of leaking them to loop teardown.
         self._handlers: Dict[str, Set[asyncio.Task]] = {}
+        self._codec = SerializeCache()
         self.sent = 0
         self.shed = 0
         self.reconnects = 0
         self.heartbeat_failures = 0
+        #: Batch frames actually written (heartbeats/hellos excluded).
+        self.frames_sent = 0
+        #: Messages carried by those frames.
+        self.msgs_sent = 0
+        #: Frame bytes written (headers + bodies of batch frames).
+        self.bytes_sent = 0
+        self._instruments = NULL_INSTRUMENTS
+        self._m_frames = NULL_INSTRUMENTS.counter("aio_frames_sent")
+        self._m_bytes = NULL_INSTRUMENTS.counter("aio_bytes_sent")
+        self._m_cache_hits = NULL_INSTRUMENTS.counter("aio_serialize_cache_hits")
+        self._m_batch = NULL_INSTRUMENTS.histogram("aio_msgs_per_frame")
+
+    @property
+    def serialize_cache_hits(self) -> int:
+        """Sends whose encoding was served by the serialize-once cache."""
+        return self._codec.hits
+
+    def bind_instruments(self, instruments: Any) -> None:
+        """Attach observability counters (done by :class:`AioSystem`)."""
+        self._instruments = instruments
+        self._m_frames = instruments.counter(
+            "aio_frames_sent", "batch frames written to TCP connections"
+        )
+        self._m_bytes = instruments.counter(
+            "aio_bytes_sent", "frame bytes written to TCP connections"
+        )
+        self._m_cache_hits = instruments.counter(
+            "aio_serialize_cache_hits",
+            "fan-out sends whose encoding was shared via the serialize-once cache",
+        )
+        self._m_batch = instruments.histogram(
+            "aio_msgs_per_frame",
+            "messages coalesced into each batch frame",
+            boundaries=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -256,45 +345,51 @@ class TcpTransport:
         handlers = self._handlers.setdefault(broker_id, set())
 
         async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
-            src = None
+            src: Optional[str] = None
             task = asyncio.current_task()
             if task is not None:
                 handlers.add(task)
             inbound.add(writer)
+            decoder = FrameDecoder(self.max_frame_bytes)
             try:
-                # First line identifies the peer.
-                hello = await reader.readline()
-                if not hello:
-                    return
-                src = json.loads(hello.decode("utf-8"))["src"]
                 while True:
-                    line = await reader.readline()
-                    if not line:
+                    chunk = await reader.read(65536)
+                    if not chunk:
                         return  # EOF: peer closed or died (half-open ends here)
-                    obj = json.loads(line.decode("utf-8"))
-                    kind = obj.get("kind")
-                    if kind == "heartbeat":
-                        if not self._is_severed(src, broker_id):
-                            writer.write(b'{"kind": "heartbeat_ack"}\n')
-                            await writer.drain()
-                        continue
-                    if self._is_severed(src, broker_id):
-                        continue  # the wire is cut; frames die here
-                    if kind == "envelope":
-                        message = Envelope.from_wire(obj)
-                    elif kind == "link_status":
-                        message = LinkStatusMessage.from_wire(obj)
-                    else:
-                        raise ValueError(f"unknown frame kind {kind!r}")
-                    receiver = self._receivers.get(broker_id)
-                    if receiver is not None:
-                        result = receiver(src, message)
-                        if asyncio.iscoroutine(result):
-                            # Backpressure: a full broker inbox suspends
-                            # this reader, and TCP flow control pushes
-                            # back on the sender.
-                            await result
+                    decoder.feed(chunk)
+                    for frame_type, body in decoder.frames():
+                        if src is None:
+                            # The first frame identifies the peer.
+                            if frame_type != FRAME_HELLO:
+                                raise FrameError(
+                                    f"expected HELLO, got frame type {frame_type}"
+                                )
+                            src = json.loads(body.decode("utf-8"))["src"]
+                            continue
+                        if frame_type == FRAME_HEARTBEAT:
+                            if not self._is_severed(src, broker_id):
+                                writer.write(wire.HEARTBEAT_ACK_FRAME)
+                                await writer.drain()
+                            continue
+                        if frame_type != FRAME_BATCH:
+                            raise FrameError(
+                                f"unexpected frame type {frame_type}"
+                            )
+                        if self._is_severed(src, broker_id):
+                            continue  # the wire is cut; frames die here
+                        receiver = self._receivers.get(broker_id)
+                        for payload in decode_batch_body(body):
+                            message = decode_wire_message(payload)
+                            if receiver is not None:
+                                result = receiver(src, message)
+                                if asyncio.iscoroutine(result):
+                                    # Backpressure: a full broker inbox
+                                    # suspends this reader, and TCP flow
+                                    # control pushes back on the sender.
+                                    await result
             except (ConnectionError, json.JSONDecodeError, ValueError, KeyError):
+                # FrameError/OversizedFrame are ValueErrors: a malformed
+                # or hostile peer gets its connection closed, not a hang.
                 pass
             except asyncio.CancelledError:
                 # Absorb teardown cancellation: re-raising would trip the
@@ -332,6 +427,32 @@ class TcpTransport:
         # stay supervised on the remote side and reconnect on restart.
         for key in [k for k in self._conns if k[0] == broker_id]:
             await self._drop_connection(self._conns.pop(key))
+
+    async def drain(self, timeout: float = 1.0) -> bool:
+        """Best-effort flush: wait until every live connection's outbox is
+        empty (all coalesced frames written and drained), or ``timeout``.
+
+        Graceful-shutdown ordering: the coalescing writer holds queued
+        messages for up to ``flush_delay``; closing the transport without
+        draining first would discard a final cork window's worth of
+        traffic.  Outboxes of downed links are excluded — they cannot
+        drain and their loss is recovered by the protocol on restart.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+
+        def flushed() -> bool:
+            return all(
+                not conn.outbox
+                for conn in self._conns.values()
+                if not conn.closing and conn.up
+            )
+
+        while not flushed():
+            if loop.time() >= deadline:
+                return False
+            await asyncio.sleep(max(self.flush_delay, 0.002))
+        return True
 
     async def close(self) -> None:
         for conn in list(self._conns.values()):
@@ -392,7 +513,7 @@ class TcpTransport:
         return b in self.addresses
 
     def send(self, src: str, dst: str, message: Any) -> bool:
-        """Fire-and-forget: enqueue the frame on the supervised
+        """Fire-and-forget: enqueue the encoded payload on the supervised
         connection (spawning its supervisor on first use).  Returns the
         local link-health verdict, like the simulator's network."""
         self.sent += 1
@@ -405,15 +526,34 @@ class TcpTransport:
             conn.task = asyncio.get_running_loop().create_task(
                 self._supervise(conn)
             )
-        conn.outbox.append(encode_frame(message))
+        hits_before = self._codec.hits
+        payload = self._codec.encode(message)
+        if self._codec.hits != hits_before:
+            self._m_cache_hits.inc()
+        conn.outbox.append(payload)
         while len(conn.outbox) > self.OUTBOX_LIMIT:
-            # Shed the oldest buffered frame: bounded memory beats a
+            # Shed the oldest buffered payload: bounded memory beats a
             # stale backlog, and the GD protocol re-requests anything
             # guaranteed that was lost.
             conn.outbox.popleft()
             self.shed += 1
         conn.wakeup.set()
         return conn.up or conn.task is not None and not conn.closing
+
+    def _collect_batch(self, conn: _Connection) -> List[bytes]:
+        """Head slice of the outbox that fits one batch frame."""
+        batch: List[bytes] = []
+        size = 0
+        limit = self.max_batch_msgs
+        for payload in conn.outbox:
+            cost = len(payload) + 4
+            if batch and size + cost > self.max_batch_bytes:
+                break
+            batch.append(payload)
+            size += cost
+            if limit is not None and len(batch) >= limit:
+                break
+        return batch
 
     # -- supervision -------------------------------------------------------
 
@@ -461,15 +601,17 @@ class TcpTransport:
     ) -> None:
         """Pump one established connection until it fails."""
         loop = asyncio.get_running_loop()
-        writer.write((json.dumps({"src": conn.src}) + "\n").encode("utf-8"))
+        writer.write(wire.hello_frame(conn.src))
         await writer.drain()
         conn.up = not conn.suspect
         conn.last_ack = loop.time()
 
         async def read_acks() -> None:
+            # Only heartbeat-ack frames flow back on an outgoing
+            # connection; any inbound bytes are liveness evidence.
             while True:
-                line = await reader.readline()
-                if not line:
+                chunk = await reader.read(4096)
+                if not chunk:
                     raise ConnectionResetError("peer closed")
                 conn.last_ack = loop.time()
                 conn.suspect = False
@@ -482,6 +624,7 @@ class TcpTransport:
 
         async def pump() -> None:
             next_beat = loop.time() + self.heartbeat_interval
+            corked = False
             while True:
                 if self._is_severed(conn.src, conn.dst):
                     raise ConnectionResetError("link severed")
@@ -495,17 +638,34 @@ class TcpTransport:
                     conn.suspect = True
                     raise ConnectionResetError("heartbeat timeout")
                 if now >= next_beat:
-                    writer.write(b'{"kind": "heartbeat"}\n')
+                    writer.write(wire.HEARTBEAT_FRAME)
                     await writer.drain()
                     next_beat = now + self.heartbeat_interval
                 if conn.outbox:
-                    # Peek, write, then pop: a failure mid-write leaves
-                    # the frame at the head for the next incarnation.
-                    frame = conn.outbox[0]
+                    if self.flush_delay > 0 and not corked:
+                        # Cork: let the outbox accumulate one flush
+                        # window, then re-run the health checks above
+                        # before writing the coalesced frame.
+                        corked = True
+                        await asyncio.sleep(self.flush_delay)
+                        continue
+                    corked = False
+                    # Peek, write, drain, then pop: a failure mid-write
+                    # leaves the whole in-flight batch at the head for
+                    # the next incarnation to re-send.
+                    batch = self._collect_batch(conn)
+                    frame = encode_batch_frame(batch)
                     writer.write(frame)
                     await writer.drain()
-                    if conn.outbox and conn.outbox[0] is frame:
-                        conn.outbox.popleft()
+                    for payload in batch:
+                        if conn.outbox and conn.outbox[0] is payload:
+                            conn.outbox.popleft()
+                    self.frames_sent += 1
+                    self.msgs_sent += len(batch)
+                    self.bytes_sent += len(frame)
+                    self._m_frames.inc()
+                    self._m_bytes.inc(len(frame))
+                    self._m_batch.observe(len(batch))
                     continue
                 conn.wakeup.clear()
                 if conn.outbox:

@@ -36,7 +36,7 @@ Key protocol behaviours implemented here:
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Callable, Dict, FrozenSet, List, Optional
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from ..core.config import LivenessParams
 from ..core.lattice import C, K
@@ -198,6 +198,11 @@ class GDBrokerEngine:
         #: (None = no report yet; assume full reachability).
         self.peer_reachable: Dict[str, Optional[FrozenSet[str]]] = {}
         self.counters: Dict[str, int] = {}
+        #: Ostreams whose coalesced flush timer is armed (flush_pending).
+        #: A cheap guard for hosts that want to piggyback pending
+        #: knowledge deltas onto outgoing traffic (see
+        #: :meth:`flush_dirty_ostreams`) without scanning the maps.
+        self.dirty_ostreams = 0
         for pubend, route in topo.routes.items():
             self._ensure_streams(pubend)
 
@@ -597,6 +602,7 @@ class GDBrokerEngine:
         armed = False
         if not ost.flush_pending:
             ost.flush_pending = True
+            self.dirty_ostreams += 1
             armed = True
             pubend, cell = ost.pubend, ost.cell
             self.services.schedule(
@@ -628,6 +634,7 @@ class GDBrokerEngine:
         if ist is None or ost is None or not ost.flush_pending:
             return
         ost.flush_pending = False
+        self.dirty_ostreams -= 1
         pending = {d.tick: d for d in ost.pending_data}
         ost.pending_data = []
         allow_sideways = ost.pending_sideways
@@ -673,6 +680,31 @@ class GDBrokerEngine:
                 True,
             )
         self._send_knowledge(ost, out, allow_sideways, kind="flush")
+
+    def flush_dirty_ostreams(self, cell: Optional[str] = None) -> int:
+        """Eagerly flush every ostream with a pending coalesced message
+        (optionally only those towards ``cell``), ahead of their timers.
+
+        This is the piggyback hook for transports with their own
+        batching: a host about to put a data frame on the wire towards a
+        neighbor can fold the pending knowledge deltas for that neighbor
+        into the same batch instead of paying a second frame one
+        flush-delay later.  The armed timers still fire but find
+        ``flush_pending`` cleared and no-op.  Guard calls on the cheap
+        :attr:`dirty_ostreams` counter.  Returns the number of ostreams
+        flushed.
+        """
+        if not self.dirty_ostreams:
+            return 0
+        pending: List[Tuple[str, str]] = [
+            (pubend, ost_cell)
+            for pubend, cells in self.ostreams.items()
+            for ost_cell, ost in cells.items()
+            if ost.flush_pending and (cell is None or ost_cell == cell)
+        ]
+        for pubend, ost_cell in pending:
+            self._flush_ostream(pubend, ost_cell)
+        return len(pending)
 
     def _build_first_time(
         self, ost: OStream, filtered: KnowledgeMessage

@@ -149,7 +149,7 @@ class BrokerTopologyInfo:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """Broker-to-broker wrapper around a GD message.
 
@@ -183,7 +183,7 @@ class Envelope:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubscriptionSummaryMessage:
     """Upstream advertisement of a path's subscription union.
 
@@ -217,7 +217,7 @@ from ..core.messages import register_message_kind
 register_message_kind("sub_summary", SubscriptionSummaryMessage.from_wire)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkStatusMessage:
     """Periodic link-status exchange between adjacent brokers.
 

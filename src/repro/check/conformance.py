@@ -365,6 +365,7 @@ async def _run_aio_stack_async(
     transport: str,
     data_dir: Optional[str],
     mutations: Tuple[str, ...],
+    aio_flush_delay: Optional[float] = None,
 ) -> StackOutcome:
     from ..aio.runtime import AioSystem
     from ..aio.transport import LocalTransport, TcpTransport
@@ -372,7 +373,14 @@ async def _run_aio_stack_async(
     meta = build_topology(scenario)
     params = _scale_params(scenario.params(), time_scale)
     if transport == "tcp":
-        wire: Any = TcpTransport(seed=scenario.seed)
+        # aio_flush_delay overrides the transport's cork window — used by
+        # CI to prove aggressive wire batching is invisible to the
+        # conformance oracles.
+        wire: Any = (
+            TcpTransport(seed=scenario.seed)
+            if aio_flush_delay is None
+            else TcpTransport(seed=scenario.seed, flush_delay=aio_flush_delay)
+        )
     else:
         wire = LocalTransport(
             latency=0.002 * time_scale,
@@ -510,10 +518,17 @@ def _run_aio_stack(
     transport: str,
     data_dir: Optional[str],
     mutations: Tuple[str, ...],
+    aio_flush_delay: Optional[float] = None,
 ) -> StackOutcome:
     return asyncio.run(
         _run_aio_stack_async(
-            scenario, counts, time_scale, transport, data_dir, mutations
+            scenario,
+            counts,
+            time_scale,
+            transport,
+            data_dir,
+            mutations,
+            aio_flush_delay,
         )
     )
 
@@ -677,6 +692,7 @@ class ConformanceResult:
     mutations: Tuple[str, ...] = ()
     transport: str = "local"
     time_scale: float = DEFAULT_TIME_SCALE
+    aio_flush_delay: Optional[float] = None
     divergences: List[str] = field(default_factory=list)
     sim: Optional[StackOutcome] = None
     aio: Optional[StackOutcome] = None
@@ -719,6 +735,7 @@ def run_conformance(
     transport: str = "local",
     data_dir: Optional[str] = None,
     mutations: Tuple[str, ...] = (),
+    aio_flush_delay: Optional[float] = None,
 ) -> ConformanceResult:
     """Execute one scenario on both backends and cross-check."""
     scenario = normalize_for_transport(scenario, transport)
@@ -727,13 +744,20 @@ def run_conformance(
     started = time.monotonic()
     sim = _run_sim_stack(scenario, counts)
     aio = _run_aio_stack(
-        scenario, counts, time_scale, transport, data_dir, mutations
+        scenario,
+        counts,
+        time_scale,
+        transport,
+        data_dir,
+        mutations,
+        aio_flush_delay,
     )
     result = ConformanceResult(
         scenario=scenario,
         mutations=mutations,
         transport=transport,
         time_scale=time_scale,
+        aio_flush_delay=aio_flush_delay,
         sim=sim,
         aio=aio,
     )
@@ -769,6 +793,7 @@ def conform(
     transport: str = "local",
     mutations: Tuple[str, ...] = (),
     shrink_budget: int = 24,
+    aio_flush_delay: Optional[float] = None,
 ) -> ConformReport:
     """The campaign loop: generate, run differentially, shrink and
     persist the first divergence found (mirroring :func:`~repro.check.runner.fuzz`)."""
@@ -784,6 +809,7 @@ def conform(
             time_scale=time_scale,
             transport=transport,
             mutations=mutations,
+            aio_flush_delay=aio_flush_delay,
         )
 
     for index in range(runs):
@@ -842,6 +868,8 @@ def write_conformance_repro(
         obj["transport"] = result.transport
         obj["time_scale"] = result.time_scale
         obj["mutations"] = list(result.mutations)
+        if result.aio_flush_delay is not None:
+            obj["aio_flush_delay"] = result.aio_flush_delay
         obj["divergences"] = result.divergences
     directory = directory if directory is not None else "."
     os.makedirs(directory, exist_ok=True)
@@ -867,6 +895,7 @@ def load_conformance_repro(path: str) -> Tuple[Scenario, str, Dict[str, Any]]:
         "transport": obj.get("transport", "local"),
         "time_scale": obj.get("time_scale", DEFAULT_TIME_SCALE),
         "mutations": tuple(obj.get("mutations", ())),
+        "aio_flush_delay": obj.get("aio_flush_delay"),
     }
     return scenario, expect, options
 
@@ -879,5 +908,6 @@ def replay_conformance(path: str) -> Tuple[ConformanceResult, str]:
         time_scale=options["time_scale"],
         transport=options["transport"],
         mutations=options["mutations"],
+        aio_flush_delay=options["aio_flush_delay"],
     )
     return result, expect

@@ -283,6 +283,7 @@ def _cmd_conform(args: argparse.Namespace) -> int:
         time_scale=time_scale,
         transport=args.transport,
         mutations=mutations,
+        aio_flush_delay=args.aio_flush_delay,
     )
     print(
         f"conform: {report.runs} scenario(s), "
@@ -311,6 +312,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             transport=args.transport,
             data_dir=args.data_dir,
             settle=args.settle,
+            aio_flush_delay=args.aio_flush_delay,
+            max_batch_bytes=args.max_batch_bytes,
         )
         print(report.render())
         if not report.ok:
@@ -334,10 +337,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .client import DeliveryChecker
 
     async def serve() -> int:
+        wire_kwargs = {}
+        if args.aio_flush_delay is not None:
+            wire_kwargs["flush_delay"] = args.aio_flush_delay
+        if args.max_batch_bytes is not None:
+            wire_kwargs["max_batch_bytes"] = args.max_batch_bytes
         system = AioSystem(
             chain_topology(),
             params=FAST_PARAMS,
-            transport=TcpTransport(seed=args.seed),
+            transport=TcpTransport(seed=args.seed, **wire_kwargs),
             data_dir=args.data_dir,
         )
         await system.start()
@@ -535,6 +543,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the asyncio leg with a deliberate protocol defect "
         "(e.g. suppress-retransmit) — the harness must report divergence",
     )
+    p.add_argument(
+        "--aio-flush-delay", type=float, default=None, metavar="SECONDS",
+        help="override the TCP transport's cork window (wire batching) "
+        "for the asyncio leg — CI uses 0.005 to prove aggressive "
+        "batching stays invisible to the oracles",
+    )
     p.set_defaults(fn=_cmd_conform)
 
     p = sub.add_parser(
@@ -593,6 +607,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-published", type=int, default=20,
         help="fail a run that carried fewer publications than this",
     )
+    p.add_argument(
+        "--aio-flush-delay", type=float, default=None, metavar="SECONDS",
+        help="override the TCP transport's cork window (wire batching)",
+    )
+    p.add_argument(
+        "--max-batch-bytes", type=int, default=None,
+        help="override the TCP transport's batch-frame size cap",
+    )
     p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser(
@@ -609,6 +631,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--data-dir", default=None,
         help="pubend log directory (default: in-memory logs)",
+    )
+    p.add_argument(
+        "--aio-flush-delay", type=float, default=None, metavar="SECONDS",
+        help="override the TCP transport's cork window (wire batching)",
+    )
+    p.add_argument(
+        "--max-batch-bytes", type=int, default=None,
+        help="override the TCP transport's batch-frame size cap",
     )
     p.set_defaults(fn=_cmd_serve)
 

@@ -58,7 +58,7 @@ def _decode_payload(obj: Any) -> Any:
     return obj
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataTick:
     """A D tick and its payload (the published event content)."""
 
@@ -81,7 +81,7 @@ def _ranges_from_wire(obj: Sequence[Sequence[int]]) -> Tuple[TickRange, ...]:
     return tuple(TickRange(a, b) for a, b in obj)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KnowledgeMessage:
     """A downstream knowledge message for one pubend's stream.
 
@@ -171,7 +171,7 @@ class KnowledgeMessage:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckMessage:
     """Upstream acknowledgement: ticks ``[0, up_to)`` are anti-curious."""
 
@@ -186,7 +186,7 @@ class AckMessage:
         return cls(pubend=obj["pubend"], up_to=obj["up_to"])
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NackMessage:
     """Upstream curiosity: the listed tick ranges are needed urgently."""
 
@@ -213,7 +213,7 @@ class NackMessage:
         return cls(pubend=obj["pubend"], ranges=_ranges_from_wire(obj["ranges"]))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckExpectedMessage:
     """Pubend-driven liveness probe: the pubend expects acks up to
     ``up_to``; receivers nack any Q ticks below it (paper section 3.2)."""

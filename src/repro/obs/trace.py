@@ -36,7 +36,7 @@ from .lifecycle import LifecycleListener
 __all__ = ["TraceEvent", "Tracer"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One recorded event.
 

@@ -98,12 +98,20 @@ class TestBenchCommand:
             "chain_batching",
             "trace_overhead",
             "aio_throughput",
+            "aio_wire",
+            "message_alloc",
         }
         # The acceptance floors this PR is gated on.
         assert report["derived"]["batching_reduction"] >= 2.0
         assert report["derived"]["interval_fast_speedup"] >= 1.0
         assert "trace_overhead" in report["derived"]
         assert report["counters"]["trace_causal_spans"] > 0
+        # Wire batching: frame reduction gate counters must be clean and
+        # every published message delivered exactly once.
+        assert report["counters"]["aio_wire_excess_frames"] == 0
+        assert report["counters"]["aio_wire_latency_violations"] == 0
+        assert report["counters"]["aio_wire_undelivered"] == 0
+        assert report["counters"]["aio_throughput_undelivered"] == 0
 
         baseline = json.loads(baseline_path.read_text())
         assert baseline["counters"] == report["counters"]
