@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import asyncio
 import math
+import os
 import random
 import shutil
 import tempfile
@@ -36,6 +37,7 @@ from typing import Dict, List, Optional
 
 from ..client import CheckReport, DeliveryChecker
 from ..core.config import LivenessParams
+from ..storage.faults import corrupt_log_file
 from ..topology import Topology
 from .runtime import AioSystem
 from .transport import LocalTransport, TcpTransport
@@ -56,8 +58,11 @@ FAST_PARAMS = LivenessParams(
 
 @dataclass(frozen=True)
 class ChaosAction:
-    """One scheduled fault: ``kill``/``restart`` a broker or
-    ``sever``/``heal`` a link (target ``"a|b"``)."""
+    """One scheduled fault: ``kill``/``restart`` a broker,
+    ``sever``/``heal`` a link (target ``"a|b"``), or a corruption
+    injection — ``corrupt-log`` (flip a bit in a stable-log record while
+    its broker is down), ``corrupt-wire`` (damage the next frame on the
+    wire), ``disk-full`` (the next stable-log append hits ENOSPC)."""
 
     t: float
     kind: str
@@ -126,7 +131,9 @@ def chain_topology(link_latency: float = 0.002) -> Topology:
     return topo
 
 
-def chaos_schedule(seed: int, duration: float) -> List[ChaosAction]:
+def chaos_schedule(
+    seed: int, duration: float, corrupt_rate: float = 0.0
+) -> List[ChaosAction]:
     """The fault schedule for one seed: a pure function, so a failing
     seed reproduces the same fault pattern.
 
@@ -135,6 +142,25 @@ def chaos_schedule(seed: int, duration: float) -> List[ChaosAction]:
     sever/heal of a link; may add an intermediate-broker outage.  Every
     outage closes before ``0.72 * duration``, leaving the tail of the
     run for organic recovery before the settle window.
+
+    ``corrupt_rate`` (default 0: schedules are byte-identical to the
+    pre-corruption harness) adds each corruption action with that
+    probability — at 1.0, all of:
+
+    * ``corrupt-log`` at the midpoint of the PHB outage, while the log
+      files are closed: the *oldest* record of each log gets a bit flip.
+      It was published, delivered, and possibly truncated long before
+      the fault window, so quarantining it on replay must not cost a
+      delivery — only prove detection (``log_records_quarantined``).
+    * ``corrupt-wire`` during the fault window: the next data frame is
+      damaged in flight and must be rejected by checksum
+      (``frames_rejected_crc``), never delivered.
+    * ``disk-full`` after every outage has healed: the PHB's next stable
+      append hits ENOSPC; the publish must fail *visibly*
+      (``log_append_errors``) instead of advertising an unlogged tick.
+
+    Corruption draws come after the base schedule, so the base fault
+    pattern of a seed is unchanged by enabling corruption.
     """
     rng = random.Random(seed)
     window_lo, window_hi = 0.2 * duration, 0.72 * duration
@@ -150,6 +176,23 @@ def chaos_schedule(seed: int, duration: float) -> List[ChaosAction]:
     outage("sever", "heal", rng.choice(["b0|b1", "b1|b2"]))
     if rng.random() < 0.5:
         outage("kill", "restart", "b1")
+    if corrupt_rate > 0:
+        kill_t = next(a.t for a in actions if a.kind == "kill" and a.target == "b0")
+        restart_t = next(
+            a.t for a in actions if a.kind == "restart" and a.target == "b0"
+        )
+        if rng.random() < corrupt_rate:
+            actions.append(
+                ChaosAction((kill_t + restart_t) / 2.0, "corrupt-log", "b0")
+            )
+        if rng.random() < corrupt_rate:
+            actions.append(
+                ChaosAction(
+                    rng.uniform(window_lo, window_hi), "corrupt-wire", "wire"
+                )
+            )
+        if rng.random() < corrupt_rate:
+            actions.append(ChaosAction(0.8 * duration, "disk-full", "b0"))
     return sorted(actions, key=lambda a: (a.t, a.kind, a.target))
 
 
@@ -163,6 +206,7 @@ async def chaos(
     settle: float = 2.5,
     aio_flush_delay: Optional[float] = None,
     max_batch_bytes: Optional[int] = None,
+    corrupt_rate: float = 0.0,
 ) -> ChaosReport:
     """Run one seeded chaos scenario against the asyncio runtime."""
     if transport == "tcp":
@@ -179,7 +223,7 @@ async def chaos(
     tmp_dir = None
     if data_dir is None:
         tmp_dir = data_dir = tempfile.mkdtemp(prefix="repro-chaos-")
-    actions = chaos_schedule(seed, duration)
+    actions = chaos_schedule(seed, duration, corrupt_rate)
     report = ChaosReport(
         seed=seed,
         duration=duration,
@@ -213,6 +257,39 @@ async def chaos(
             elif action.kind == "heal":
                 a, __, b = action.target.partition("|")
                 system.heal_link(a, b)
+            elif action.kind == "corrupt-log":
+                # The broker is down (midpoint of its outage): its log
+                # files are closed.  Flip a bit in the *oldest* record of
+                # each — delivered long ago, so replay must quarantine it
+                # without costing a delivery.
+                injected = 0
+                for name in sorted(os.listdir(data_dir)):
+                    if name.endswith(".log") and corrupt_log_file(
+                        os.path.join(data_dir, name), seed=seed
+                    ):
+                        injected += 1
+                report.counters["log_corruptions_injected"] = (
+                    report.counters.get("log_corruptions_injected", 0) + injected
+                )
+            elif action.kind == "corrupt-wire":
+                if hasattr(wire, "corrupt_next_frames"):
+                    wire.corrupt_next_frames(1)
+                else:
+                    wire.corrupt_next_messages(1)
+                report.counters["wire_corruptions_injected"] = (
+                    report.counters.get("wire_corruptions_injected", 0) + 1
+                )
+            elif action.kind == "disk-full":
+                broker = system.brokers.get(action.target)
+                armed = 0
+                if broker is not None and broker.alive:
+                    for log in broker._logs.values():
+                        if hasattr(log, "inject_fault"):
+                            log.inject_fault("enospc")
+                            armed += 1
+                report.counters["disk_full_injected"] = (
+                    report.counters.get("disk_full_injected", 0) + armed
+                )
         await asyncio.sleep(max(0.0, t0 + duration - loop.time()))
 
         # End of the fault window: the schedule already closed every
@@ -238,6 +315,7 @@ async def chaos(
             "frames_sent",
             "msgs_sent",
             "serialize_cache_hits",
+            "frames_rejected_crc",
         ):
             value = getattr(wire, name, None)
             if value is not None:
@@ -245,6 +323,26 @@ async def chaos(
         report.counters["broker_restarts"] = sum(
             b.restarts for b in system.brokers.values()
         )
+        instruments = system.obs.instruments
+        for name in ("log_records_quarantined", "log_append_errors"):
+            report.counters[name] = int(instruments.total(name))
+        # Every injected corruption must have been *detected and healed*,
+        # not silently absorbed: the matching detection counter proves the
+        # integrity layer saw it (the exactly-once verdict above proves
+        # the healing).
+        checks = (
+            ("log_corruptions_injected", "log_records_quarantined",
+             "injected log corruption was never quarantined on replay"),
+            ("wire_corruptions_injected", "frames_rejected_crc",
+             "injected wire corruption was never rejected by checksum"),
+            ("disk_full_injected", "log_append_errors",
+             "injected disk-full fault never surfaced as a log append error"),
+        )
+        for injected_name, detected_name, message in checks:
+            if report.counters.get(injected_name, 0) and not report.counters.get(
+                detected_name, 0
+            ):
+                report.failures.append(message)
     finally:
         await system.shutdown()
         if tmp_dir is not None:
@@ -262,6 +360,7 @@ def run_chaos(
     settle: float = 2.5,
     aio_flush_delay: Optional[float] = None,
     max_batch_bytes: Optional[int] = None,
+    corrupt_rate: float = 0.0,
 ) -> ChaosReport:
     """Synchronous wrapper: run one chaos scenario on a fresh loop."""
     return asyncio.run(
@@ -275,5 +374,6 @@ def run_chaos(
             settle=settle,
             aio_flush_delay=aio_flush_delay,
             max_batch_bytes=max_batch_bytes,
+            corrupt_rate=corrupt_rate,
         )
     )

@@ -38,7 +38,7 @@ from ..facade import resolve_predicate
 from ..matching.events import Event
 from ..obs.hub import MetricsHub
 from ..obs.observability import Observability
-from ..storage.log import FileLog, MemoryLog, MessageLog
+from ..storage.log import FileLog, LogAppendError, MemoryLog, MessageLog
 from ..topology import Topology, TopologyPlan
 from .transport import LocalTransport
 
@@ -230,9 +230,10 @@ class AioBroker:
                 log = MemoryLog()
             if isinstance(log, FileLog):
                 # Crash realism: the handle dies with the broker, the
-                # file survives; restart reopens and replays it.
-                path, latency = log.path, log.commit_latency
-                log_factory = lambda: FileLog(path, commit_latency=latency)  # noqa: E731
+                # file survives; restart reopens and replays it with the
+                # same configuration (record format, fault wrapper,
+                # instruments).
+                log_factory = log.factory()
             else:
                 kept = log
                 log_factory = lambda: kept  # noqa: E731
@@ -494,7 +495,14 @@ class AioPublisher:
             attributes.update(self.make_attributes(self.seq))
         attributes["ts"] = asyncio.get_running_loop().time()
         event = Event(attributes)
-        tick = self.broker.publish(self.pubend, event)
+        try:
+            tick = self.broker.publish(self.pubend, event)
+        except LogAppendError:
+            # The stable log could not be made durable (disk full, fsync
+            # failure): the tick was rolled back before anything was
+            # advertised, so this is a failed attempt the publisher may
+            # retry — never a silently-lost published message.
+            tick = None
         if tick is None:
             self.failed_attempts += 1
         else:
@@ -603,10 +611,17 @@ class AioSystem:
             )
 
     def _file_log(self, pubend_id: str) -> FileLog:
-        """Default durable log: one JSON-lines file per pubend under
-        ``data_dir`` (see docs/DEPLOYMENT.md for the layout)."""
+        """Default durable log: one checksummed record file per pubend
+        under ``data_dir`` (see docs/DEPLOYMENT.md for the layout).
+        Instruments are threaded through so replay quarantines and
+        append failures surface as ``log_records_quarantined`` /
+        ``log_append_errors``."""
         path = os.path.join(self._data_dir, f"{pubend_id}.log")
-        return FileLog(path, commit_latency=self._log_commit_latency)
+        return FileLog(
+            path,
+            commit_latency=self._log_commit_latency,
+            instruments=self.obs.instruments,
+        )
 
     async def start(self) -> None:
         """Bring every broker online (TCP transports start listening)."""

@@ -92,21 +92,48 @@ class LocalTransport:
         drop_probability: float = 0.0,
         seed: int = 0,
         jitter: float = 0.0,
+        corrupt_probability: float = 0.0,
     ):
         self.latency = latency
         self.drop_probability = drop_probability
         #: Extra uniform [0, jitter) delivery delay per message; nonzero
         #: jitter can reorder messages, like the simulator's jittery links.
         self.jitter = jitter
+        #: Probability a sent message is corrupted in flight.  In-process
+        #: messages have no byte encoding to damage, so corruption is
+        #: modelled at its *observable* effect: the receiving transport
+        #: detects the bad checksum and discards (counted in
+        #: ``frames_rejected_crc``), exactly what TcpTransport does with
+        #: a frame failing its CRC32 — detect-and-discard, the protocol's
+        #: retransmission heals the gap.
+        self.corrupt_probability = corrupt_probability
         self.rng = random.Random(seed)
         self._receivers: Dict[str, ReceiveFn] = {}
         self._down: Set[Tuple[str, str]] = set()
-        #: Per-pair (drop, jitter) overrides of the ambient pathology,
-        #: keyed by the normalized broker pair — the real-time analogue of
-        #: the simulator's timed drop/reorder bursts on one link.
-        self._pathology: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        #: Per-pair (drop, jitter, corrupt) overrides of the ambient
+        #: pathology, keyed by the normalized broker pair — the real-time
+        #: analogue of the simulator's timed bursts on one link.
+        self._pathology: Dict[Tuple[str, str], Tuple[float, float, float]] = {}
         self.sent = 0
         self.dropped = 0
+        #: Messages discarded as corrupt-in-flight (see above).
+        self.frames_rejected_crc = 0
+        #: Messages the chaos harness will corrupt next (deterministic
+        #: injection, mirroring TcpTransport.corrupt_next_frames).
+        self._corrupt_pending = 0
+        self._m_rejected = NULL_INSTRUMENTS.counter("aio_frames_rejected_crc")
+
+    def bind_instruments(self, instruments: Any) -> None:
+        """Attach observability counters (done by :class:`AioSystem`)."""
+        self._m_rejected = instruments.counter(
+            "aio_frames_rejected_crc",
+            "messages discarded as corrupt-in-flight (checksum reject)",
+        )
+
+    def corrupt_next_messages(self, count: int = 1) -> None:
+        """Chaos hook: the next ``count`` sends are corrupted in flight
+        and rejected by the receiving checksum (detect-and-discard)."""
+        self._corrupt_pending += count
 
     def register(self, broker_id: str, on_receive: ReceiveFn) -> None:
         self._receivers[broker_id] = on_receive
@@ -128,14 +155,19 @@ class LocalTransport:
         return self._key(a, b) not in self._down and b in self._receivers
 
     def set_pathology(
-        self, a: str, b: str, drop_probability: float = 0.0, jitter: float = 0.0
+        self,
+        a: str,
+        b: str,
+        drop_probability: float = 0.0,
+        jitter: float = 0.0,
+        corrupt_probability: float = 0.0,
     ) -> None:
-        """Override the ambient drop/jitter on one broker pair (a timed
-        burst from a fault schedule).  Setting both to 0 clears the
+        """Override the ambient drop/jitter/corrupt on one broker pair (a
+        timed burst from a fault schedule).  Setting all to 0 clears the
         override, restoring the ambient pathology."""
         key = self._key(a, b)
-        if drop_probability or jitter:
-            self._pathology[key] = (drop_probability, jitter)
+        if drop_probability or jitter or corrupt_probability:
+            self._pathology[key] = (drop_probability, jitter, corrupt_probability)
         else:
             self._pathology.pop(key, None)
 
@@ -147,11 +179,23 @@ class LocalTransport:
         key = self._key(src, dst)
         if key in self._down:
             return False
-        drop, jitter = self._pathology.get(
-            key, (self.drop_probability, self.jitter)
+        drop, jitter, corrupt = self._pathology.get(
+            key, (self.drop_probability, self.jitter, self.corrupt_probability)
         )
         if drop and self.rng.random() < drop:
             self.dropped += 1
+            return True
+        if self._corrupt_pending > 0:
+            self._corrupt_pending -= 1
+            self.frames_rejected_crc += 1
+            self._m_rejected.inc()
+            return True
+        if corrupt and self.rng.random() < corrupt:
+            # Corrupted in flight: the receiver's checksum rejects it
+            # (detect-and-discard); the message is never delivered and
+            # the GD retransmission protocol heals the gap.
+            self.frames_rejected_crc += 1
+            self._m_rejected.inc()
             return True
         loop = asyncio.get_running_loop()
 
@@ -306,11 +350,19 @@ class TcpTransport:
         self.msgs_sent = 0
         #: Frame bytes written (headers + bodies of batch frames).
         self.bytes_sent = 0
+        #: Inbound frames rejected by a CRC32 check (header or body);
+        #: each reject also tears down its connection so reconnect +
+        #: retransmission heal the stream.
+        self.frames_rejected_crc = 0
+        #: Frames the sender will deliberately corrupt before writing
+        #: (chaos injection; see :meth:`corrupt_next_frames`).
+        self._corrupt_pending = 0
         self._instruments = NULL_INSTRUMENTS
         self._m_frames = NULL_INSTRUMENTS.counter("aio_frames_sent")
         self._m_bytes = NULL_INSTRUMENTS.counter("aio_bytes_sent")
         self._m_cache_hits = NULL_INSTRUMENTS.counter("aio_serialize_cache_hits")
         self._m_batch = NULL_INSTRUMENTS.histogram("aio_msgs_per_frame")
+        self._m_rejected = NULL_INSTRUMENTS.counter("aio_frames_rejected_crc")
 
     @property
     def serialize_cache_hits(self) -> int:
@@ -335,6 +387,18 @@ class TcpTransport:
             "messages coalesced into each batch frame",
             boundaries=(1, 2, 4, 8, 16, 32, 64, 128, 256),
         )
+        self._m_rejected = instruments.counter(
+            "aio_frames_rejected_crc",
+            "inbound frames rejected by a CRC32 check (header or body)",
+        )
+
+    def corrupt_next_frames(self, count: int = 1) -> None:
+        """Chaos hook: flip one bit in each of the next ``count`` batch
+        frames *after* encoding, before the bytes hit the socket — the
+        receiver must detect the damage by CRC and reject the frame.  The
+        sender treats the write as failed (the batch stays queued and is
+        re-sent on the healed connection), so injection is lossless."""
+        self._corrupt_pending += count
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -387,6 +451,14 @@ class TcpTransport:
                                     # suspends this reader, and TCP flow
                                     # control pushes back on the sender.
                                     await result
+            except wire.CorruptFrame:
+                # A frame failed its CRC: never deliver any of it.  Count
+                # the reject and treat the stream like a torn connection —
+                # closing it makes the sender reconnect and re-send its
+                # unpopped batches; anything already popped is healed by
+                # the protocol's nack/retransmission machinery.
+                self.frames_rejected_crc += 1
+                self._m_rejected.inc()
             except (ConnectionError, json.JSONDecodeError, ValueError, KeyError):
                 # FrameError/OversizedFrame are ValueErrors: a malformed
                 # or hostile peer gets its connection closed, not a hang.
@@ -655,6 +727,17 @@ class TcpTransport:
                     # the next incarnation to re-send.
                     batch = self._collect_batch(conn)
                     frame = encode_batch_frame(batch)
+                    if self._corrupt_pending > 0:
+                        # Chaos injection: damage the encoded bytes on
+                        # the wire, keep the batch queued (peek, no pop),
+                        # and fail the connection as the receiver's CRC
+                        # reject will anyway — reconnect re-sends it.
+                        self._corrupt_pending -= 1
+                        damaged = bytearray(frame)
+                        damaged[-1] ^= 0x40
+                        writer.write(bytes(damaged))
+                        await writer.drain()
+                        raise ConnectionResetError("injected frame corruption")
                     writer.write(frame)
                     await writer.drain()
                     for payload in batch:

@@ -7,23 +7,31 @@ information-flow view of brokering).  This module is the replacement
 codec, split sans-io from the socket code so it can be tested
 byte-by-byte:
 
-* **Frames** are ``!IB``-packed headers (4-byte big-endian body length,
-  1-byte frame type) followed by the body.  Control frames (``HELLO``,
-  ``HEARTBEAT``, ``HEARTBEAT_ACK``) carry tiny or empty bodies; data
-  travels in **batch frames** whose body is a concatenation of
-  length-prefixed wire messages, so N queued messages cost one header,
-  one ``write()`` and one ``drain()``.
+* **Frames** are ``!IBII``-packed headers (4-byte big-endian body
+  length, 1-byte frame type, 4-byte CRC32 of the body, 4-byte CRC32 of
+  the preceding nine header bytes) followed by the body.  Control frames
+  (``HELLO``, ``HEARTBEAT``, ``HEARTBEAT_ACK``) carry tiny or empty
+  bodies; data travels in **batch frames** whose body is a concatenation
+  of length-prefixed wire messages, so N queued messages cost one
+  header, one ``write()`` and one ``drain()``.  The header CRC makes the
+  header self-validating: a corrupted or hostile length prefix is
+  rejected *immediately* (:class:`CorruptFrame`) instead of making the
+  decoder buffer toward a garbage length that never completes; the body
+  CRC guarantees a corrupt payload is never delivered — the transport
+  treats a :class:`CorruptFrame` like a torn connection and the
+  retransmission protocol heals the gap.
 * **Wire messages** (the batch elements) are compact JSON encodings of
   :class:`~repro.broker.state.Envelope` /
   :class:`~repro.broker.state.LinkStatusMessage` — the same dict schema
   the JSON-lines codec used, so the two codecs are differentially
   testable against each other.
 * :class:`FrameDecoder` is an incremental parser: TCP may tear a frame
-  (even its 5-byte header) across arbitrary segment boundaries, and the
+  (even its 13-byte header) across arbitrary segment boundaries, and the
   decoder buffers until a frame completes.  A header announcing a body
   larger than ``max_frame_bytes`` raises :class:`OversizedFrame`
   immediately — a malformed or hostile peer cannot make us buffer
-  unboundedly.
+  unboundedly — and a header failing its own CRC raises
+  :class:`CorruptFrame` before its length field is trusted at all.
 * :class:`SerializeCache` is the serialize-once fan-out cache: a message
   published to N peers is encoded once and the bytes shared across every
   connection's outbox.  It is keyed on message *identity* and each entry
@@ -36,6 +44,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from collections import OrderedDict
 from typing import Any, Iterator, List, Sequence, Tuple
 
@@ -51,7 +60,9 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "FrameError",
     "OversizedFrame",
+    "CorruptFrame",
     "FrameDecoder",
+    "pack_header",
     "SerializeCache",
     "build_frame",
     "encode_batch_frame",
@@ -64,9 +75,13 @@ __all__ = [
     "hello_frame",
 ]
 
-#: Frame header: body length (excluding the header itself), frame type.
-HEADER = struct.Struct("!IB")
+#: Frame header: body length (excluding the header itself), frame type,
+#: CRC32 of the body, CRC32 of the preceding nine header bytes.
+HEADER = struct.Struct("!IBII")
 HEADER_SIZE = HEADER.size
+
+#: The header minus its own trailing CRC — the bytes that CRC covers.
+_HEADER_PREFIX = struct.Struct("!IBI")
 
 #: Length prefix of each message inside a batch body.
 _LEN = struct.Struct("!I")
@@ -87,6 +102,14 @@ class FrameError(ValueError):
 
 class OversizedFrame(FrameError):
     """A frame header announced a body larger than the configured limit."""
+
+
+class CorruptFrame(FrameError):
+    """A frame failed a CRC32 check (header self-check or body).
+
+    The receiving transport must not deliver any part of the frame; it
+    drops the connection and lets reconnect + retransmission heal the
+    stream, exactly as for a torn connection."""
 
 
 # ---------------------------------------------------------------------------
@@ -117,12 +140,18 @@ def decode_wire_message(data: bytes) -> Any:
 # ---------------------------------------------------------------------------
 
 
+def pack_header(length: int, frame_type: int, body_crc: int = 0) -> bytes:
+    """Pack a frame header with a valid header CRC (self-validating)."""
+    prefix = _HEADER_PREFIX.pack(length, frame_type, body_crc)
+    return prefix + _LEN.pack(zlib.crc32(prefix))
+
+
 def build_frame(frame_type: int, body: bytes = b"") -> bytes:
     if len(body) > MAX_FRAME_BYTES:
         raise OversizedFrame(
             f"frame body of {len(body)} bytes exceeds {MAX_FRAME_BYTES}"
         )
-    return HEADER.pack(len(body), frame_type) + body
+    return pack_header(len(body), frame_type, zlib.crc32(body)) + body
 
 
 def encode_batch_frame(payloads: Sequence[bytes]) -> bytes:
@@ -200,7 +229,16 @@ class FrameDecoder:
         while True:
             if len(self._buffer) < HEADER_SIZE:
                 return
-            length, frame_type = HEADER.unpack_from(self._buffer, 0)
+            length, frame_type, body_crc, header_crc = HEADER.unpack_from(
+                self._buffer, 0
+            )
+            # The header validates itself before its length field is
+            # trusted: a flipped bit in the length prefix would otherwise
+            # make the decoder wait forever for a "frame" that never
+            # completes (any garbage below max_frame_bytes stalls the
+            # connection silently).
+            if zlib.crc32(bytes(self._buffer[: _HEADER_PREFIX.size])) != header_crc:
+                raise CorruptFrame("frame header failed its CRC32 self-check")
             if length > self.max_frame_bytes:
                 raise OversizedFrame(
                     f"peer announced a {length}-byte frame body "
@@ -210,6 +248,10 @@ class FrameDecoder:
             if len(self._buffer) < total:
                 return
             body = bytes(self._buffer[HEADER_SIZE:total])
+            if zlib.crc32(body) != body_crc:
+                raise CorruptFrame(
+                    f"frame body of {length} byte(s) failed its CRC32 check"
+                )
             del self._buffer[:total]
             yield frame_type, body
 

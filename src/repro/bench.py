@@ -515,6 +515,67 @@ def _bench_aio_wire(repeat: int) -> Dict[str, Any]:
     }
 
 
+def _bench_integrity_overhead(repeat: int) -> Dict[str, Any]:
+    """Cost of the v2 checksummed log record format vs the legacy bare
+    JSON-lines format: paired append rounds into real files (``sync=False``
+    so fsync latency — identical on both sides — does not drown the CRC
+    and framing cost under measurement noise).
+
+    The gated statistic is the lower quartile of per-round CPU-time
+    ratios, the same noise-floor estimator as ``trace_overhead``:
+    ``integrity_overhead_violations`` is 1 when even that optimistic
+    estimate says framing + CRC32 costs more than 5% over bare JSON
+    (baseline 0).  ``integrity_records`` pins the workload size.
+    """
+    import gc
+    import os
+    import tempfile
+
+    from .storage.log import FileLog, LogEntry
+
+    n_records = 2000  # pinned: the gated workload size
+
+    def run(directory: str, record_format: str) -> None:
+        path = os.path.join(directory, f"bench-{record_format}.log")
+        log = FileLog(path, record_format=record_format, sync=False)
+        try:
+            for i in range(n_records):
+                log.append(LogEntry("P0", i + 1, {"seq": i, "ts": 0.125 * i}))
+        finally:
+            log.close()
+            os.unlink(path)
+
+    rounds = max(repeat, 9)
+    ratios: List[float] = []
+    wall_v1 = wall_v2 = float("inf")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-integrity-") as tmp:
+        run(tmp, "v2")  # warm caches/allocator off the clock
+        for __ in range(rounds):
+            gc.collect()
+            started = time.process_time()
+            run(tmp, "v1")
+            v1_done = time.process_time()
+            gc.collect()
+            mid = time.process_time()
+            run(tmp, "v2")
+            done = time.process_time()
+            wall_v1 = min(wall_v1, v1_done - started)
+            wall_v2 = min(wall_v2, done - mid)
+            if v1_done > started:
+                ratios.append((done - mid) / (v1_done - started))
+    ratios.sort()
+    overhead = ratios[len(ratios) // 4] - 1.0 if ratios else 0.0
+    return {
+        "wall_s": wall_v2,
+        "wall_v1_s": wall_v1,
+        "integrity_overhead": round(overhead, 4),
+        "counters": {
+            "integrity_records": n_records,
+            "integrity_overhead_violations": 1 if overhead > 0.05 else 0,
+        },
+    }
+
+
 def _bench_message_alloc(repeat: int) -> Dict[str, Any]:
     """Hot-path message allocation: DataTick + KnowledgeMessage +
     Envelope construction and attribute access, 20k iterations.  Tracks
@@ -549,6 +610,7 @@ BENCHMARKS: Tuple[Tuple[str, Callable[[int], Dict[str, Any]]], ...] = (
     ("matching_engine", _bench_matching),
     ("chain_batching", _bench_chain_batching),
     ("trace_overhead", _bench_trace_overhead),
+    ("integrity_overhead", _bench_integrity_overhead),
     ("message_alloc", _bench_message_alloc),
     ("aio_throughput", _bench_aio_throughput),
     ("aio_wire", _bench_aio_wire),
@@ -577,6 +639,9 @@ def run_benchmarks(repeat: int = 3) -> Dict[str, Any]:
         ],
         "trace_overhead": report["benchmarks"]["trace_overhead"][
             "trace_overhead"
+        ],
+        "integrity_overhead": report["benchmarks"]["integrity_overhead"][
+            "integrity_overhead"
         ],
     }
     return report
@@ -627,6 +692,10 @@ def main(args: Any) -> int:
         if "trace_overhead" in result:
             notes.append(
                 f"causal tracing +{100 * result['trace_overhead']:.1f}% wall"
+            )
+        if "integrity_overhead" in result:
+            notes.append(
+                f"crc framing +{100 * result['integrity_overhead']:.1f}% wall"
             )
         if "throughput_msgs_s" in result:
             notes.append(f"{result['throughput_msgs_s']} msgs/s end-to-end")

@@ -353,6 +353,13 @@ def _aio_fault_actions(
             a, b = fault.target
             actions.append((start, "jitter_on", (a, b, fault.intensity * scale)))
             actions.append((healed, "path_off", (a, b)))
+        elif fault.kind == "corrupt_burst":
+            # Messages corrupted in flight are rejected by checksum at
+            # the receiver (detect-and-discard); the sim leg runs the
+            # same schedule as a drop burst (see check/runner.py).
+            a, b = fault.target
+            actions.append((start, "corrupt_on", (a, b, fault.intensity)))
+            actions.append((healed, "path_off", (a, b)))
         else:
             raise ValueError(f"unknown fault kind {fault.kind!r}")
     return actions
@@ -366,6 +373,7 @@ async def _run_aio_stack_async(
     data_dir: Optional[str],
     mutations: Tuple[str, ...],
     aio_flush_delay: Optional[float] = None,
+    corrupt_rate: float = 0.0,
 ) -> StackOutcome:
     from ..aio.runtime import AioSystem
     from ..aio.transport import LocalTransport, TcpTransport
@@ -387,6 +395,11 @@ async def _run_aio_stack_async(
             drop_probability=scenario.drop_probability,
             jitter=scenario.jitter * time_scale,
             seed=scenario.seed,
+            # Ambient wire corruption (--corrupt-rate): every corrupted
+            # message is rejected by checksum at the receiver, so the
+            # protocol experiences it as extra loss it must heal; the
+            # conformance oracles must stay clean regardless.
+            corrupt_probability=corrupt_rate,
         )
     system = AioSystem(
         meta.topo,
@@ -447,6 +460,10 @@ async def _run_aio_stack_async(
                                    drop_probability=payload[2])
             elif kind == "jitter_on":
                 wire.set_pathology(payload[0], payload[1], jitter=payload[2])
+            elif kind == "corrupt_on":
+                wire.set_pathology(
+                    payload[0], payload[1], corrupt_probability=payload[2]
+                )
             elif kind == "path_off":
                 wire.clear_pathology(payload[0], payload[1])
 
@@ -519,6 +536,7 @@ def _run_aio_stack(
     data_dir: Optional[str],
     mutations: Tuple[str, ...],
     aio_flush_delay: Optional[float] = None,
+    corrupt_rate: float = 0.0,
 ) -> StackOutcome:
     return asyncio.run(
         _run_aio_stack_async(
@@ -529,6 +547,7 @@ def _run_aio_stack(
             data_dir,
             mutations,
             aio_flush_delay,
+            corrupt_rate,
         )
     )
 
@@ -723,7 +742,7 @@ def normalize_for_transport(scenario: Scenario, transport: str) -> Scenario:
     faults = tuple(
         fault
         for fault in scenario.faults
-        if fault.kind not in ("drop_burst", "reorder_burst")
+        if fault.kind not in ("drop_burst", "reorder_burst", "corrupt_burst")
     )
     return scenario.with_(faults=faults, drop_probability=0.0, jitter=0.0)
 
@@ -736,8 +755,17 @@ def run_conformance(
     data_dir: Optional[str] = None,
     mutations: Tuple[str, ...] = (),
     aio_flush_delay: Optional[float] = None,
+    corrupt_rate: float = 0.0,
 ) -> ConformanceResult:
-    """Execute one scenario on both backends and cross-check."""
+    """Execute one scenario on both backends and cross-check.
+
+    ``corrupt_rate`` adds ambient wire corruption to the aio leg's local
+    transport (each corrupted message is checksum-rejected at the
+    receiver and healed by retransmission); the sim leg runs unchanged —
+    the differential oracle must not notice.  Ignored for ``tcp``, where
+    sub-stream pathologies cannot be injected (see
+    :func:`normalize_for_transport`).
+    """
     scenario = normalize_for_transport(scenario, transport)
     mutations = tuple(mutations)
     counts = message_counts(scenario)
@@ -751,6 +779,7 @@ def run_conformance(
         data_dir,
         mutations,
         aio_flush_delay,
+        corrupt_rate if transport != "tcp" else 0.0,
     )
     result = ConformanceResult(
         scenario=scenario,
@@ -794,6 +823,7 @@ def conform(
     mutations: Tuple[str, ...] = (),
     shrink_budget: int = 24,
     aio_flush_delay: Optional[float] = None,
+    corrupt_rate: float = 0.0,
 ) -> ConformReport:
     """The campaign loop: generate, run differentially, shrink and
     persist the first divergence found (mirroring :func:`~repro.check.runner.fuzz`)."""
@@ -810,6 +840,7 @@ def conform(
             transport=transport,
             mutations=mutations,
             aio_flush_delay=aio_flush_delay,
+            corrupt_rate=corrupt_rate,
         )
 
     for index in range(runs):

@@ -125,6 +125,16 @@ def _schedule_fault(injector: FaultInjector, fault: FaultSpec) -> None:
         injector.reorder_burst(
             a, b, at=fault.at, duration=fault.duration, jitter=fault.intensity
         )
+    elif kind == "corrupt_burst":
+        # In the simulator a corrupted message has no byte encoding to
+        # damage; its observable effect is detect-and-discard at the
+        # receiver, which is exactly a drop.  The aio leg corrupts for
+        # real and counts the checksum rejects.
+        a, b = target
+        injector.drop_burst(
+            a, b, at=fault.at, duration=fault.duration,
+            probability=fault.intensity,
+        )
     else:
         raise ValueError(f"unknown fault kind {kind!r}")
 

@@ -369,6 +369,14 @@ def _generate_faults(
         "stall_link_fail",
         "drop_burst",
         "reorder_burst",
+        # Wire corruption on one link: the receiving transport detects
+        # each damaged message by checksum and discards it, so at the
+        # protocol level a corrupt burst IS a drop burst (detect-and-
+        # discard) — the sim leg models it as loss, the aio leg counts
+        # checksum rejects.  Adding the kind reshuffles freshly generated
+        # schedules; persisted corpus scenarios carry explicit faults and
+        # are unaffected.
+        "corrupt_burst",
     )
     faults: List[FaultSpec] = []
     heal_deadline = publish_until + 3.0
@@ -389,6 +397,7 @@ def _generate_faults(
             intensity = {
                 "drop_burst": round(rng.uniform(0.2, 0.6), 2),
                 "reorder_burst": round(rng.uniform(0.01, 0.05), 3),
+                "corrupt_burst": round(rng.uniform(0.2, 0.6), 2),
             }.get(kind, 0.0)
         fault = FaultSpec(
             kind=kind, target=target, at=at, duration=duration,

@@ -284,6 +284,7 @@ def _cmd_conform(args: argparse.Namespace) -> int:
         transport=args.transport,
         mutations=mutations,
         aio_flush_delay=args.aio_flush_delay,
+        corrupt_rate=args.corrupt_rate,
     )
     print(
         f"conform: {report.runs} scenario(s), "
@@ -302,18 +303,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    import os
+
     from .aio.chaos import run_chaos
 
     status = 0
     for offset in range(args.runs):
+        seed = args.seed + offset
+        # Each seed gets its own subdirectory so log files (and any
+        # .quarantine sidecars left by corruption injection) survive
+        # side by side for post-mortem / CI artifact collection.
+        data_dir = args.data_dir
+        if data_dir is not None and args.runs > 1:
+            data_dir = os.path.join(data_dir, f"seed-{seed}")
         report = run_chaos(
-            seed=args.seed + offset,
+            seed=seed,
             duration=args.duration,
             transport=args.transport,
-            data_dir=args.data_dir,
+            data_dir=data_dir,
             settle=args.settle,
             aio_flush_delay=args.aio_flush_delay,
             max_batch_bytes=args.max_batch_bytes,
+            corrupt_rate=args.corrupt_rate,
         )
         print(report.render())
         if not report.ok:
@@ -549,6 +560,12 @@ def build_parser() -> argparse.ArgumentParser:
         "for the asyncio leg — CI uses 0.005 to prove aggressive "
         "batching stays invisible to the oracles",
     )
+    p.add_argument(
+        "--corrupt-rate", type=float, default=0.0, metavar="PROBABILITY",
+        help="ambient per-message frame-corruption probability on the "
+        "asyncio leg's local transport (checksum rejects must heal "
+        "invisibly; ignored for tcp)",
+    )
     p.set_defaults(fn=_cmd_conform)
 
     p = sub.add_parser(
@@ -614,6 +631,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-batch-bytes", type=int, default=None,
         help="override the TCP transport's batch-frame size cap",
+    )
+    p.add_argument(
+        "--corrupt-rate", type=float, default=0.0, metavar="PROBABILITY",
+        help="per-kind probability of scheduling corruption faults "
+        "(log bit-flips, wire frame damage, disk-full) into the chaos "
+        "schedule; 1.0 schedules all three every run",
     )
     p.set_defaults(fn=_cmd_chaos)
 

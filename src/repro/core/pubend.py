@@ -114,6 +114,13 @@ class Pubend:
             help="Prefix of ticks acknowledged by all downstream paths.",
             **labels,
         )
+        self._m_publish_failures = instruments.counter(
+            "repro_pubend_publish_failures_total",
+            help="Publish attempts aborted because the stable log append "
+            "failed (disk full, fsync error); the tick was never "
+            "advertised.",
+            **labels,
+        )
 
     # ------------------------------------------------------------------
     # Publishing
@@ -139,10 +146,22 @@ class Pubend:
         latency by delaying the *send*, not the append).  The returned
         message finalizes the silent range since the previous D tick and
         carries the acked prefix, giving the ``F*Q*F*DF*Q*`` form.
+
+        The append happens *before* any stream or counter mutation: if
+        stable storage fails (:class:`~repro.storage.log.LogAppendError`),
+        the exception propagates with the pubend unchanged — the tick was
+        never assigned to the stream, nothing is advertised downstream,
+        and the publisher sees a failed attempt it may retry.
         """
         tick = self.assign_tick(now)
         prev_horizon = self.stream.horizon()
-        self.log.append(LogEntry(self.pubend_id, tick, payload))
+        try:
+            self.log.append(LogEntry(self.pubend_id, tick, payload))
+        except OSError:
+            # LogAppendError (and any raw disk error): the message is not
+            # published.  assign_tick is pure, so no rollback is needed.
+            self._m_publish_failures.inc()
+            raise
         self._m_publishes.inc()
         self._m_log_appends.inc()
         f_ranges: List[TickRange] = []

@@ -13,7 +13,14 @@ is supposed to prevent:
 * **silence violation** — a hosted pubend has emitted nothing (data or
   silence) for more than ``silence_factor`` times its silence interval
   while its broker is alive (lazy silence is broken, so downstream
-  subends cannot distinguish an idle stream from a dead one).
+  subends cannot distinguish an idle stream from a dead one);
+* **corruption storm** — the fleet-wide rate of *detected* integrity
+  faults (quarantined log records, checksum-rejected frames, failed log
+  appends) over the last sweep window exceeds ``corruption_rate`` per
+  second.  Each individual fault is healed by design — quarantine plus
+  replay, reconnect plus retransmission — but a sustained rate means a
+  disk or link is actively dying and an operator should intervene
+  before healing capacity is outrun.
 
 Findings are structured :class:`Finding` records pushed into
 ``system.obs`` (:meth:`~repro.obs.observability.Observability.record_finding`),
@@ -35,7 +42,20 @@ from .lifecycle import LifecycleListener
 
 __all__ = ["Finding", "DetectorSet"]
 
-DETECTORS = ("horizon_stall", "retransmission_storm", "silence_violation")
+DETECTORS = (
+    "horizon_stall",
+    "retransmission_storm",
+    "silence_violation",
+    "corruption_storm",
+)
+
+#: Counter families summed by the corruption-storm sweep: every way the
+#: integrity layer *detects* (and heals) a corruption event.
+CORRUPTION_COUNTERS = (
+    "log_records_quarantined",
+    "log_append_errors",
+    "aio_frames_rejected_crc",
+)
 
 
 @dataclass(frozen=True)
@@ -63,6 +83,7 @@ class DetectorSet(LifecycleListener):
         stall_after: float = 2.0,
         storm_rate: float = 200.0,
         silence_factor: float = 3.0,
+        corruption_rate: float = 5.0,
     ):
         self.system = system
         self.obs = getattr(system, "obs", None)
@@ -70,6 +91,7 @@ class DetectorSet(LifecycleListener):
         self.stall_after = stall_after
         self.storm_rate = storm_rate
         self.silence_factor = silence_factor
+        self.corruption_rate = corruption_rate
         self.findings: List[Finding] = []
         self._installed = False
         # (broker, pubend) -> (last seen delivered horizon, time it moved,
@@ -78,6 +100,8 @@ class DetectorSet(LifecycleListener):
         self._retransmits_window = 0
         self._storm_active = False
         self._silence_flagged: Dict[str, bool] = {}
+        self._corruption_seen = 0.0
+        self._corruption_active = False
 
     # ------------------------------------------------------------------
 
@@ -108,6 +132,11 @@ class DetectorSet(LifecycleListener):
                 "repro_detector_silence_age_seconds",
                 "Age of the most overdue hosted pubend emission",
             ).set(0.0)
+            self.obs.gauge(
+                "repro_detector_corruption_rate",
+                "Detected integrity faults per second over the last sweep "
+                "window (quarantined records, crc rejects, append errors)",
+            ).set(0.0)
         self._arm()
         return self
 
@@ -132,6 +161,7 @@ class DetectorSet(LifecycleListener):
         self._check_horizons(now)
         self._check_storm(now)
         self._check_silence(now)
+        self._check_corruption(now)
         self._arm()
 
     def _check_horizons(self, now: float) -> None:
@@ -194,6 +224,33 @@ class DetectorSet(LifecycleListener):
                 )
         else:
             self._storm_active = False
+
+    def _check_corruption(self, now: float) -> None:
+        instruments = getattr(self.obs, "instruments", None)
+        if instruments is None:
+            return
+        total = sum(instruments.total(name) for name in CORRUPTION_COUNTERS)
+        delta = max(0.0, total - self._corruption_seen)
+        self._corruption_seen = total
+        rate = delta / self.interval
+        self.obs.gauge("repro_detector_corruption_rate").set(rate)
+        if rate >= self.corruption_rate:
+            if not self._corruption_active:
+                self._corruption_active = True
+                self._emit(
+                    Finding(
+                        now,
+                        "corruption_storm",
+                        "*",
+                        "*",
+                        f"{rate:.0f} detected integrity faults/s "
+                        f"(quarantines + crc rejects + append errors; "
+                        f"threshold {self.corruption_rate:.0f}/s)",
+                        {"rate": rate, "total": total},
+                    )
+                )
+        else:
+            self._corruption_active = False
 
     def _check_silence(self, now: float) -> None:
         worst = 0.0

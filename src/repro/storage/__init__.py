@@ -1,3 +1,14 @@
 """Stable storage for pubends (the only persistent state in the system)."""
 
-from .log import FileLog, LogEntry, MemoryLog, MessageLog
+from .faults import FaultyFile, corrupt_log_file
+from .log import FileLog, LogAppendError, LogEntry, MemoryLog, MessageLog
+
+__all__ = [
+    "FaultyFile",
+    "corrupt_log_file",
+    "FileLog",
+    "LogAppendError",
+    "LogEntry",
+    "MemoryLog",
+    "MessageLog",
+]

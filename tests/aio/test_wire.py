@@ -72,7 +72,7 @@ async def eventually(predicate, timeout: float = 5.0, interval: float = 0.02):
 
 class TestFrameDecoder:
     def test_torn_length_prefix_across_segments(self):
-        """TCP may split a frame anywhere — including inside the 5-byte
+        """TCP may split a frame anywhere — including inside the 13-byte
         header.  Feeding one byte at a time must still decode every
         frame, in order, with nothing left over."""
         messages = wire_message_corpus()
@@ -107,12 +107,46 @@ class TestFrameDecoder:
             )
 
     def test_oversized_frame_rejected_from_header_alone(self):
-        """A hostile or corrupt header announcing a huge body raises
-        before any body bytes arrive — no unbounded buffering."""
+        """A hostile header announcing a huge body raises before any
+        body bytes arrive — no unbounded buffering.  The header must be
+        internally valid (correct header CRC) to even reach the length
+        check, so pack it with the real helper."""
         decoder = FrameDecoder(max_frame_bytes=1024)
-        header = wire.HEADER.pack(1 << 20, FRAME_BATCH)
+        header = wire.pack_header(1 << 20, FRAME_BATCH)
         decoder.feed(header)
         with pytest.raises(OversizedFrame):
+            list(decoder.frames())
+
+    def test_corrupt_length_prefix_rejected_immediately(self):
+        """A flipped bit in the length prefix *below* the oversize cap
+        used to make the decoder buffer forever waiting for a garbage
+        frame that never completes.  The header CRC self-check rejects
+        it as soon as the header is complete."""
+        frame = bytearray(encode_batch_frame([b"hello"]))
+        frame[2] ^= 0x01  # length now claims a few hundred extra bytes
+        decoder = FrameDecoder()
+        decoder.feed(bytes(frame))
+        with pytest.raises(wire.CorruptFrame):
+            list(decoder.frames())
+
+    def test_corrupt_body_rejected_by_crc(self):
+        """A bit flipped anywhere in the body fails the body CRC — a
+        corrupt payload is never surfaced as a decoded frame."""
+        good = encode_batch_frame([encode_wire_message(m) for m in wire_message_corpus()])
+        for pos in range(wire.HEADER_SIZE, len(good)):
+            frame = bytearray(good)
+            frame[pos] ^= 0x10
+            decoder = FrameDecoder()
+            decoder.feed(bytes(frame))
+            with pytest.raises(wire.CorruptFrame):
+                list(decoder.frames())
+
+    def test_corrupt_header_crc_field_rejected(self):
+        frame = bytearray(encode_batch_frame([b"hello"]))
+        frame[wire.HEADER_SIZE - 1] ^= 0x80  # damage the header CRC itself
+        decoder = FrameDecoder()
+        decoder.feed(bytes(frame))
+        with pytest.raises(wire.CorruptFrame):
             list(decoder.frames())
 
     def test_build_frame_rejects_oversized_body(self):

@@ -94,6 +94,47 @@ class TestSilenceViolation:
         assert finding.data["age"] > finding.data["limit"]
 
 
+class TestCorruptionStorm:
+    def test_burst_of_detected_faults_trips_threshold(self):
+        # The detector watches the *detection* counters (quarantines,
+        # crc rejects, append errors), not the faults themselves, so a
+        # burst is simulated by bumping the counters mid-run the way a
+        # FileLog replay or FrameDecoder reject would.
+        system = build_system(seed=7)
+        detectors = DetectorSet(
+            system, interval=0.1, corruption_rate=5.0
+        ).install()
+        quarantined = system.obs.counter("log_records_quarantined")
+        rejected = system.obs.counter("aio_frames_rejected_crc")
+        injector = FaultInjector(system)
+        injector.at(0.51, lambda: quarantined.inc(2))
+        injector.at(0.52, lambda: rejected.inc(1))
+        drive(system, until=5.0)
+        storms = findings_by(detectors, "corruption_storm")
+        # 3 faults inside one 0.1 s sweep window = 30/s >= 5/s — and one
+        # finding for the episode, not one per sweep.
+        assert len(storms) == 1
+        assert storms[0].data["rate"] >= 5.0
+        assert storms[0].data["total"] == 3
+        # The gauge decays back to zero once the burst passes.
+        gauge = system.obs.gauge("repro_detector_corruption_rate")
+        assert gauge.value == 0.0
+
+    def test_slow_trickle_stays_below_threshold(self):
+        # One fault per 0.25 s sweep window is 4/s — under the 5/s
+        # threshold: isolated healed faults are not a storm.
+        system = build_system(seed=7)
+        detectors = DetectorSet(
+            system, interval=0.25, corruption_rate=5.0
+        ).install()
+        errors = system.obs.counter("log_append_errors")
+        injector = FaultInjector(system)
+        for i in range(4):
+            injector.at(0.5 + i, lambda: errors.inc())
+        drive(system, until=5.0)
+        assert not findings_by(detectors, "corruption_storm")
+
+
 class TestReadOnly:
     def test_detectors_do_not_change_deliveries(self):
         def deliveries(with_detectors):

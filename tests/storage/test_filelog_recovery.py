@@ -42,7 +42,9 @@ class TestEventPayloads:
         log.append(LogEntry("P0", 1, Event({"g": 0})))
         log.close()
         lines = (tmp_path / "p.log").read_text().splitlines()
-        assert "__event__" in json.loads(lines[0])["payload"]
+        # v2 framing: "R2 <crc:08x> <len:08x> <json payload>"
+        assert lines[0].startswith("R2 ")
+        assert "__event__" in json.loads(lines[0][21:])["payload"]
 
 
 class TestTornTail:

@@ -97,6 +97,7 @@ class TestBenchCommand:
             "matching_engine",
             "chain_batching",
             "trace_overhead",
+            "integrity_overhead",
             "aio_throughput",
             "aio_wire",
             "message_alloc",
